@@ -1,0 +1,227 @@
+//! The access constraint `S → (l, N)`.
+
+use bgpq_graph::{Label, LabelInterner};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a constraint inside an [`crate::AccessSchema`]
+/// (its position in the schema).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ConstraintId(pub u32);
+
+impl ConstraintId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phi{}", self.0)
+    }
+}
+
+/// Structural classification of an access constraint (Section II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// Type (1): `∅ → (l, N)` — at most `N` nodes labeled `l` in the graph.
+    Global,
+    /// Type (2): `l → (l', N)` — every `l`-labeled node has at most `N`
+    /// neighbors labeled `l'`.
+    Unary,
+    /// The general form with `|S| ≥ 2`.
+    General,
+}
+
+/// An access constraint `S → (l, N)`.
+///
+/// The source `S` is kept as a **sorted, deduplicated** list of labels so
+/// that constraints can be compared and used as keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessConstraint {
+    source: Vec<Label>,
+    target: Label,
+    bound: usize,
+}
+
+impl AccessConstraint {
+    /// Creates a constraint `S → (l, N)`. The source is sorted and
+    /// deduplicated.
+    pub fn new(source: impl IntoIterator<Item = Label>, target: Label, bound: usize) -> Self {
+        let mut source: Vec<Label> = source.into_iter().collect();
+        source.sort_unstable();
+        source.dedup();
+        AccessConstraint {
+            source,
+            target,
+            bound,
+        }
+    }
+
+    /// A type (1) constraint `∅ → (l, N)`.
+    pub fn global(target: Label, bound: usize) -> Self {
+        AccessConstraint::new([], target, bound)
+    }
+
+    /// A type (2) constraint `l → (l', N)`.
+    pub fn unary(source: Label, target: Label, bound: usize) -> Self {
+        AccessConstraint::new([source], target, bound)
+    }
+
+    /// The source label set `S` (sorted).
+    pub fn source(&self) -> &[Label] {
+        &self.source
+    }
+
+    /// The target label `l`.
+    pub fn target(&self) -> Label {
+        self.target
+    }
+
+    /// The cardinality bound `N`.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// `|S|`.
+    pub fn source_len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// The "length" of the constraint used when measuring `|A|`, the total
+    /// length of a schema: `|S| + 2` (source labels, target label, bound).
+    pub fn len(&self) -> usize {
+        self.source.len() + 2
+    }
+
+    /// Always false: a constraint has at least a target and a bound.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Structural kind of the constraint.
+    pub fn kind(&self) -> ConstraintKind {
+        match self.source.len() {
+            0 => ConstraintKind::Global,
+            1 => ConstraintKind::Unary,
+            _ => ConstraintKind::General,
+        }
+    }
+
+    /// True when this is a type (1) constraint.
+    pub fn is_global(&self) -> bool {
+        self.source.is_empty()
+    }
+
+    /// True when this is a type (1) or type (2) constraint — the only forms
+    /// an `M`-bounded extension may add (Section V).
+    pub fn is_extension_form(&self) -> bool {
+        self.source.len() <= 1
+    }
+
+    /// True when `label` appears in the source set `S`.
+    pub fn source_contains(&self, label: Label) -> bool {
+        self.source.binary_search(&label).is_ok()
+    }
+
+    /// Renders the constraint with label names from `interner`.
+    pub fn display_with(&self, interner: &LabelInterner) -> String {
+        let src = if self.source.is_empty() {
+            "∅".to_string()
+        } else {
+            let names: Vec<String> = self
+                .source
+                .iter()
+                .map(|&l| interner.name_or_placeholder(l))
+                .collect();
+            format!("({})", names.join(", "))
+        };
+        format!(
+            "{} -> ({}, {})",
+            src,
+            interner.name_or_placeholder(self.target),
+            self.bound
+        )
+    }
+}
+
+impl fmt::Display for AccessConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let src: Vec<String> = self.source.iter().map(|l| l.to_string()).collect();
+        write!(
+            f,
+            "{{{}}} -> ({}, {})",
+            src.join(","),
+            self.target,
+            self.bound
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_is_sorted_and_deduplicated() {
+        let c = AccessConstraint::new([Label(3), Label(1), Label(3)], Label(0), 5);
+        assert_eq!(c.source(), &[Label(1), Label(3)]);
+        assert_eq!(c.target(), Label(0));
+        assert_eq!(c.bound(), 5);
+        assert_eq!(c.source_len(), 2);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn kinds_are_classified() {
+        assert_eq!(
+            AccessConstraint::global(Label(0), 10).kind(),
+            ConstraintKind::Global
+        );
+        assert_eq!(
+            AccessConstraint::unary(Label(1), Label(0), 10).kind(),
+            ConstraintKind::Unary
+        );
+        assert_eq!(
+            AccessConstraint::new([Label(1), Label(2)], Label(0), 10).kind(),
+            ConstraintKind::General
+        );
+    }
+
+    #[test]
+    fn extension_form_is_type_one_or_two() {
+        assert!(AccessConstraint::global(Label(0), 1).is_extension_form());
+        assert!(AccessConstraint::unary(Label(1), Label(0), 1).is_extension_form());
+        assert!(!AccessConstraint::new([Label(1), Label(2)], Label(0), 1).is_extension_form());
+        assert!(AccessConstraint::global(Label(0), 1).is_global());
+        assert!(!AccessConstraint::unary(Label(1), Label(0), 1).is_global());
+    }
+
+    #[test]
+    fn source_contains_uses_binary_search() {
+        let c = AccessConstraint::new([Label(5), Label(2)], Label(9), 1);
+        assert!(c.source_contains(Label(2)));
+        assert!(c.source_contains(Label(5)));
+        assert!(!c.source_contains(Label(9)));
+    }
+
+    #[test]
+    fn display_with_interner_uses_names() {
+        let mut interner = LabelInterner::new();
+        let year = interner.intern("year");
+        let award = interner.intern("award");
+        let movie = interner.intern("movie");
+        let c = AccessConstraint::new([year, award], movie, 4);
+        assert_eq!(c.display_with(&interner), "(year, award) -> (movie, 4)");
+        let g = AccessConstraint::global(movie, 100);
+        assert_eq!(g.display_with(&interner), "∅ -> (movie, 100)");
+        assert!(c.to_string().contains("-> (L2, 4)"));
+        assert_eq!(ConstraintId(3).to_string(), "phi3");
+        assert_eq!(ConstraintId(3).index(), 3);
+    }
+}

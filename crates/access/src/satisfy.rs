@@ -1,0 +1,127 @@
+//! Verification that a graph satisfies an access schema (`G |= A`).
+//!
+//! Only the cardinality side needs checking — the index side is provided by
+//! [`crate::AccessIndexSet`] itself. A constraint `S → (l, N)` is violated
+//! when some `S`-labeled node set has more than `N` common neighbors labeled
+//! `l`; it suffices to inspect the sets that have at least one common
+//! neighbor, which is exactly what building the index enumerates.
+
+use crate::constraint::{AccessConstraint, ConstraintId};
+use crate::index::ConstraintIndex;
+use crate::schema::AccessSchema;
+use bgpq_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A violated constraint together with the observed cardinality.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Position of the violated constraint in the schema.
+    pub constraint: ConstraintId,
+    /// The violated constraint itself.
+    pub access_constraint: AccessConstraint,
+    /// The largest common-neighbor set observed (exceeds the bound).
+    pub observed: usize,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "constraint {} ({}) violated: observed cardinality {} > bound {}",
+            self.constraint,
+            self.access_constraint,
+            self.observed,
+            self.access_constraint.bound()
+        )
+    }
+}
+
+/// Checks whether `graph |= schema`, returning every violation found.
+///
+/// An empty result means the graph satisfies the (cardinality part of the)
+/// schema.
+pub fn check_schema(graph: &Graph, schema: &AccessSchema) -> Vec<Violation> {
+    schema
+        .iter_with_ids()
+        .filter_map(|(id, c)| {
+            let index = ConstraintIndex::build(graph, c.clone());
+            let observed = index.max_cardinality();
+            (observed > c.bound()).then(|| Violation {
+                constraint: id,
+                access_constraint: c.clone(),
+                observed,
+            })
+        })
+        .collect()
+}
+
+/// Convenience wrapper: true when `graph |= schema`.
+pub fn satisfies(graph: &Graph, schema: &AccessSchema) -> bool {
+    check_schema(graph, schema).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq_graph::{GraphBuilder, Value};
+
+    fn star(actors_per_movie: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for m in 0..3i64 {
+            let movie = b.add_node("movie", Value::Int(m));
+            for a in 0..actors_per_movie as i64 {
+                let actor = b.add_node("actor", Value::Int(m * 100 + a));
+                b.add_edge(movie, actor).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn satisfied_schema_has_no_violations() {
+        let g = star(3);
+        let movie = g.interner().get("movie").unwrap();
+        let actor = g.interner().get("actor").unwrap();
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::unary(movie, actor, 3),
+            AccessConstraint::global(movie, 3),
+        ]);
+        assert!(check_schema(&g, &schema).is_empty());
+        assert!(satisfies(&g, &schema));
+    }
+
+    #[test]
+    fn violations_report_observed_cardinality() {
+        let g = star(5);
+        let movie = g.interner().get("movie").unwrap();
+        let actor = g.interner().get("actor").unwrap();
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::unary(movie, actor, 2), // violated: 5 actors
+            AccessConstraint::global(movie, 2),       // violated: 3 movies
+            AccessConstraint::global(actor, 1000),    // satisfied
+        ]);
+        let violations = check_schema(&g, &schema);
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].constraint, ConstraintId(0));
+        assert_eq!(violations[0].observed, 5);
+        assert_eq!(violations[1].observed, 3);
+        assert!(violations[0].to_string().contains("violated"));
+        assert!(!satisfies(&g, &schema));
+    }
+
+    #[test]
+    fn empty_schema_is_always_satisfied() {
+        let g = star(1);
+        assert!(satisfies(&g, &AccessSchema::new()));
+        assert!(satisfies(&Graph::empty(), &AccessSchema::new()));
+    }
+
+    #[test]
+    fn unused_labels_satisfy_any_bound() {
+        let g = star(2);
+        let ghost = bgpq_graph::Label(99);
+        let schema = AccessSchema::from_constraints([AccessConstraint::global(ghost, 0)]);
+        assert!(satisfies(&g, &schema));
+    }
+}

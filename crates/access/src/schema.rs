@@ -1,0 +1,280 @@
+//! Access schemas: sets of access constraints.
+
+use crate::constraint::{AccessConstraint, ConstraintId};
+use bgpq_graph::{Label, LabelInterner};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A set `A` of access constraints, with positional [`ConstraintId`]s.
+///
+/// The paper uses two size measures which we expose directly:
+/// `||A||` — the number of constraints ([`AccessSchema::len`]) — and
+/// `|A|` — the total length of all constraints
+/// ([`AccessSchema::total_length`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccessSchema {
+    constraints: Vec<AccessConstraint>,
+}
+
+impl AccessSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a schema from a list of constraints (duplicates are kept; use
+    /// [`AccessSchema::minimized`] to collapse them).
+    pub fn from_constraints(constraints: impl IntoIterator<Item = AccessConstraint>) -> Self {
+        AccessSchema {
+            constraints: constraints.into_iter().collect(),
+        }
+    }
+
+    /// Adds a constraint, returning its id.
+    pub fn add(&mut self, constraint: AccessConstraint) -> ConstraintId {
+        let id = ConstraintId(self.constraints.len() as u32);
+        self.constraints.push(constraint);
+        id
+    }
+
+    /// Adds every constraint of `other` to this schema.
+    pub fn extend_from(&mut self, other: &AccessSchema) {
+        for c in other.iter() {
+            self.add(c.clone());
+        }
+    }
+
+    /// Number of constraints, `||A||`.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when the schema has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Total length of all constraints, `|A|`.
+    pub fn total_length(&self) -> usize {
+        self.constraints.iter().map(AccessConstraint::len).sum()
+    }
+
+    /// The constraint with the given id.
+    pub fn get(&self, id: ConstraintId) -> Option<&AccessConstraint> {
+        self.constraints.get(id.index())
+    }
+
+    /// Iterates over the constraints in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &AccessConstraint> {
+        self.constraints.iter()
+    }
+
+    /// Iterates over `(id, constraint)` pairs.
+    pub fn iter_with_ids(&self) -> impl Iterator<Item = (ConstraintId, &AccessConstraint)> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ConstraintId(i as u32), c))
+    }
+
+    /// All constraints whose target label is `label`.
+    pub fn constraints_targeting(
+        &self,
+        label: Label,
+    ) -> impl Iterator<Item = (ConstraintId, &AccessConstraint)> {
+        self.iter_with_ids().filter(move |(_, c)| c.target() == label)
+    }
+
+    /// The tightest type (1) bound on `label`, if any global constraint
+    /// covers it.
+    pub fn global_bound(&self, label: Label) -> Option<usize> {
+        self.constraints
+            .iter()
+            .filter(|c| c.is_global() && c.target() == label)
+            .map(AccessConstraint::bound)
+            .min()
+    }
+
+    /// The tightest type (2) bound `source → (target, N)`, if any.
+    pub fn unary_bound(&self, source: Label, target: Label) -> Option<usize> {
+        self.constraints
+            .iter()
+            .filter(|c| c.source() == [source] && c.target() == target)
+            .map(AccessConstraint::bound)
+            .min()
+    }
+
+    /// True when an identical constraint (same source and target) exists
+    /// with a bound at most `constraint.bound()`.
+    pub fn implies(&self, constraint: &AccessConstraint) -> bool {
+        self.constraints.iter().any(|c| {
+            c.source() == constraint.source()
+                && c.target() == constraint.target()
+                && c.bound() <= constraint.bound()
+        })
+    }
+
+    /// Returns a schema where duplicate `(S, l)` pairs are collapsed to the
+    /// tightest bound, preserving first-occurrence order.
+    pub fn minimized(&self) -> AccessSchema {
+        let mut best: HashMap<(Vec<Label>, Label), usize> = HashMap::new();
+        let mut order: Vec<(Vec<Label>, Label)> = Vec::new();
+        for c in &self.constraints {
+            let key = (c.source().to_vec(), c.target());
+            match best.get_mut(&key) {
+                Some(bound) => *bound = (*bound).min(c.bound()),
+                None => {
+                    best.insert(key.clone(), c.bound());
+                    order.push(key);
+                }
+            }
+        }
+        AccessSchema {
+            constraints: order
+                .into_iter()
+                .map(|key| {
+                    let bound = best[&key];
+                    AccessConstraint::new(key.0.clone(), key.1, bound)
+                })
+                .collect(),
+        }
+    }
+
+    /// Keeps only the first `n` constraints (used by the `||A||`-sweep
+    /// experiment, Fig. 5(c,g,k)).
+    pub fn truncated(&self, n: usize) -> AccessSchema {
+        AccessSchema {
+            constraints: self.constraints.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Renders the schema with label names.
+    pub fn display_with(&self, interner: &LabelInterner) -> String {
+        self.constraints
+            .iter()
+            .map(|c| c.display_with(interner))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl FromIterator<AccessConstraint> for AccessSchema {
+    fn from_iter<T: IntoIterator<Item = AccessConstraint>>(iter: T) -> Self {
+        AccessSchema::from_constraints(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> (Label, Label, Label, Label) {
+        (Label(0), Label(1), Label(2), Label(3))
+    }
+
+    /// The paper's schema A0 (Example 3) over abstract labels:
+    /// year=0, award=1, movie=2, person=3, country=4.
+    fn a0() -> AccessSchema {
+        let (year, award, movie, person) = labels();
+        let country = Label(4);
+        AccessSchema::from_constraints([
+            AccessConstraint::new([year, award], movie, 4),
+            AccessConstraint::unary(movie, person, 30),
+            AccessConstraint::unary(person, country, 1),
+            AccessConstraint::global(year, 135),
+            AccessConstraint::global(award, 24),
+            AccessConstraint::global(country, 196),
+        ])
+    }
+
+    #[test]
+    fn sizes_match_paper_measures() {
+        let schema = a0();
+        assert_eq!(schema.len(), 6); // ||A||
+        // |A| = (2+2) + (1+2)*2 + (0+2)*3 = 4 + 6 + 6 = 16
+        assert_eq!(schema.total_length(), 16);
+        assert!(!schema.is_empty());
+        assert!(AccessSchema::new().is_empty());
+    }
+
+    #[test]
+    fn lookup_by_id_and_target() {
+        let schema = a0();
+        let (_, _, movie, person) = labels();
+        assert_eq!(schema.get(ConstraintId(0)).unwrap().target(), movie);
+        assert!(schema.get(ConstraintId(99)).is_none());
+        let targeting_person: Vec<_> = schema.constraints_targeting(person).collect();
+        assert_eq!(targeting_person.len(), 1);
+        assert_eq!(targeting_person[0].1.bound(), 30);
+    }
+
+    #[test]
+    fn global_and_unary_bounds() {
+        let schema = a0();
+        let (year, _, movie, person) = labels();
+        assert_eq!(schema.global_bound(year), Some(135));
+        assert_eq!(schema.global_bound(movie), None);
+        assert_eq!(schema.unary_bound(movie, person), Some(30));
+        assert_eq!(schema.unary_bound(person, movie), None);
+    }
+
+    #[test]
+    fn implies_checks_source_target_and_bound() {
+        let schema = a0();
+        let (year, award, movie, _) = labels();
+        assert!(schema.implies(&AccessConstraint::new([award, year], movie, 4)));
+        assert!(schema.implies(&AccessConstraint::new([year, award], movie, 10)));
+        assert!(!schema.implies(&AccessConstraint::new([year, award], movie, 3)));
+        assert!(!schema.implies(&AccessConstraint::global(movie, 1000)));
+    }
+
+    #[test]
+    fn minimized_keeps_tightest_bound() {
+        let (year, _, movie, _) = labels();
+        let mut schema = AccessSchema::new();
+        schema.add(AccessConstraint::unary(year, movie, 10));
+        schema.add(AccessConstraint::unary(year, movie, 3));
+        schema.add(AccessConstraint::unary(year, movie, 7));
+        let min = schema.minimized();
+        assert_eq!(min.len(), 1);
+        assert_eq!(min.get(ConstraintId(0)).unwrap().bound(), 3);
+    }
+
+    #[test]
+    fn truncated_takes_a_prefix() {
+        let schema = a0();
+        let t = schema.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.get(ConstraintId(1)).unwrap(),
+            schema.get(ConstraintId(1)).unwrap()
+        );
+        assert_eq!(schema.truncated(100).len(), 6);
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let mut a = AccessSchema::new();
+        a.add(AccessConstraint::global(Label(0), 1));
+        let b: AccessSchema = [AccessConstraint::global(Label(1), 2)].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        let ids: Vec<_> = a.iter_with_ids().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn display_with_interner() {
+        let mut interner = LabelInterner::new();
+        interner.intern_all(["year", "award", "movie"]);
+        let schema = AccessSchema::from_constraints([AccessConstraint::new(
+            [Label(0), Label(1)],
+            Label(2),
+            4,
+        )]);
+        assert_eq!(
+            schema.display_with(&interner),
+            "(year, award) -> (movie, 4)"
+        );
+    }
+}

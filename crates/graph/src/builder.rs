@@ -1,0 +1,239 @@
+//! Incremental construction of [`Graph`]s.
+//!
+//! The builder accepts nodes (label name + value) and directed edges in any
+//! order, deduplicates parallel edges, and produces an immutable [`Graph`]
+//! with sorted adjacency and a label index.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::label::{Label, LabelInterner};
+use crate::label_index::LabelIndex;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashSet;
+
+/// Builder for [`Graph`].
+///
+/// ```
+/// use bgpq_graph::{GraphBuilder, Value};
+///
+/// let mut b = GraphBuilder::new();
+/// let movie = b.add_node("movie", Value::str("Argo"));
+/// let actor = b.add_node("actor", Value::str("Alan"));
+/// b.add_edge(movie, actor).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 2);
+/// assert!(g.has_edge(movie, actor));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    interner: LabelInterner,
+    labels: Vec<Label>,
+    values: Vec<Value>,
+    edges: Vec<(NodeId, NodeId)>,
+    edge_set: HashSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder with a fresh label interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder that reuses an existing label interner, so that the
+    /// produced graph shares label ids with previously built artifacts
+    /// (patterns, schemas).
+    pub fn with_interner(interner: LabelInterner) -> Self {
+        GraphBuilder {
+            interner,
+            ..Self::default()
+        }
+    }
+
+    /// Creates a builder with capacity hints for nodes and edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            interner: LabelInterner::new(),
+            labels: Vec::with_capacity(nodes),
+            values: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            edge_set: HashSet::with_capacity(edges),
+        }
+    }
+
+    /// Access to the interner being populated.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Interns a label name without creating a node.
+    pub fn intern_label(&mut self, name: &str) -> Label {
+        self.interner.intern(name)
+    }
+
+    /// Adds a node with a label given by name, returning its id.
+    pub fn add_node(&mut self, label_name: &str, value: Value) -> NodeId {
+        let label = self.interner.intern(label_name);
+        self.add_node_labeled(label, value)
+    }
+
+    /// Adds a node with an already-interned label.
+    pub fn add_node_labeled(&mut self, label: Label, value: Value) -> NodeId {
+        let id = NodeId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.values.push(value);
+        id
+    }
+
+    /// Adds a directed edge `(src, dst)`.
+    ///
+    /// Duplicate edges are ignored (the graph is simple); referencing a
+    /// missing endpoint is an error.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> Result<()> {
+        let n = self.labels.len() as u32;
+        if src.0 >= n || dst.0 >= n {
+            return Err(GraphError::EndpointNotFound {
+                src: src.0 as u64,
+                dst: dst.0 as u64,
+            });
+        }
+        if self.edge_set.insert((src, dst)) {
+            self.edges.push((src, dst));
+        }
+        Ok(())
+    }
+
+    /// Adds every edge in `edges`; stops at the first error.
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        for (src, dst) in edges {
+            self.add_edge(src, dst)?;
+        }
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.labels.len();
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(src, dst) in &self.edges {
+            out[src.index()].push(dst);
+            inc[dst.index()].push(src);
+        }
+        for list in out.iter_mut().chain(inc.iter_mut()) {
+            list.sort_unstable();
+        }
+        let label_index = LabelIndex::build(&self.labels);
+        Graph {
+            interner: self.interner,
+            labels: self.labels,
+            values: self.values,
+            out,
+            inc,
+            edge_count: self.edges.len(),
+            label_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", Value::Null);
+        let c = b.add_node("b", Value::Int(1));
+        b.add_edge(a, c).unwrap();
+        assert_eq!(b.node_count(), 2);
+        assert_eq!(b.edge_count(), 1);
+        let g = b.build();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(a, c));
+        assert!(!g.has_edge(c, a));
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", Value::Null);
+        let c = b.add_node("b", Value::Null);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, c).unwrap();
+        assert_eq!(b.edge_count(), 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_neighbors(a), &[c]);
+    }
+
+    #[test]
+    fn missing_endpoint_is_an_error() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", Value::Null);
+        let err = b.add_edge(a, NodeId(5)).unwrap_err();
+        assert!(matches!(err, GraphError::EndpointNotFound { .. }));
+    }
+
+    #[test]
+    fn add_edges_bulk() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", Value::Null);
+        let c = b.add_node("b", Value::Null);
+        let d = b.add_node("c", Value::Null);
+        b.add_edges([(a, c), (c, d), (d, a)]).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn with_interner_shares_label_ids() {
+        let mut interner = LabelInterner::new();
+        let movie = interner.intern("movie");
+        let mut b = GraphBuilder::with_interner(interner);
+        let m = b.add_node("movie", Value::Null);
+        let g = b.build();
+        assert_eq!(g.label(m), movie);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_regardless_of_insertion_order() {
+        let mut b = GraphBuilder::with_capacity(4, 3);
+        let hub = b.add_node("hub", Value::Null);
+        let n3 = b.add_node("x", Value::Null);
+        let n2 = b.add_node("x", Value::Null);
+        let n1 = b.add_node("x", Value::Null);
+        // Insert in descending order of destination id.
+        b.add_edge(hub, n1).unwrap();
+        b.add_edge(hub, n2).unwrap();
+        b.add_edge(hub, n3).unwrap();
+        let g = b.build();
+        let out = g.out_neighbors(hub);
+        let mut sorted = out.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(out, sorted.as_slice());
+    }
+
+    #[test]
+    fn intern_label_without_node() {
+        let mut b = GraphBuilder::new();
+        let l = b.intern_label("ghost");
+        assert_eq!(b.interner().get("ghost"), Some(l));
+        let g = b.build();
+        assert_eq!(g.label_count(l), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types for the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, mutating or (de)serializing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced by an operation does not exist in the graph.
+    NodeNotFound(u64),
+    /// An edge endpoint referenced by an operation does not exist.
+    EndpointNotFound {
+        /// Source node id of the offending edge.
+        src: u64,
+        /// Destination node id of the offending edge.
+        dst: u64,
+    },
+    /// A label id is not registered in the interner associated with a graph.
+    UnknownLabel(u32),
+    /// A label name was not found in the interner.
+    UnknownLabelName(String),
+    /// An edge was inserted twice and the container forbids parallel edges.
+    DuplicateEdge {
+        /// Source node id.
+        src: u64,
+        /// Destination node id.
+        dst: u64,
+    },
+    /// A node id was inserted twice.
+    DuplicateNode(u64),
+    /// Failure while parsing the text interchange format.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// Failure performing I/O while loading or storing a graph.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeNotFound(id) => write!(f, "node {id} not found"),
+            GraphError::EndpointNotFound { src, dst } => {
+                write!(f, "edge ({src}, {dst}) references a missing endpoint")
+            }
+            GraphError::UnknownLabel(id) => write!(f, "label id {id} is not interned"),
+            GraphError::UnknownLabelName(name) => write!(f, "label name {name:?} is not interned"),
+            GraphError::DuplicateEdge { src, dst } => {
+                write!(f, "edge ({src}, {dst}) already exists")
+            }
+            GraphError::DuplicateNode(id) => write!(f, "node {id} already exists"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::NodeNotFound(7), "node 7 not found"),
+            (
+                GraphError::EndpointNotFound { src: 1, dst: 2 },
+                "edge (1, 2) references a missing endpoint",
+            ),
+            (GraphError::UnknownLabel(3), "label id 3 is not interned"),
+            (
+                GraphError::UnknownLabelName("movie".into()),
+                "label name \"movie\" is not interned",
+            ),
+            (
+                GraphError::DuplicateEdge { src: 4, dst: 5 },
+                "edge (4, 5) already exists",
+            ),
+            (GraphError::DuplicateNode(9), "node 9 already exists"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let err: GraphError = io.into();
+        assert!(matches!(err, GraphError::Io(_)));
+        assert!(err.to_string().contains("missing file"));
+    }
+
+    #[test]
+    fn parse_error_mentions_line() {
+        let err = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert_eq!(err.to_string(), "parse error at line 12: bad token");
+    }
+}

@@ -1,0 +1,442 @@
+//! The node-labeled directed data graph `G = (V, E, f, ν)`.
+//!
+//! [`Graph`] is an immutable-after-construction graph optimized for the kinds
+//! of accesses the bounded-evaluation machinery performs:
+//!
+//! * neighbor and label lookups in O(degree);
+//! * `has_edge` in O(log degree) (adjacency lists are kept sorted);
+//! * enumeration of all nodes carrying a given label (via the embedded
+//!   [`LabelIndex`]);
+//! * **common-neighbor** queries for a set of nodes, the primitive behind
+//!   access-constraint indices (`S → (l, N)` asks for the common neighbors of
+//!   an `S`-labeled node set that carry label `l`).
+//!
+//! Construction goes through [`crate::GraphBuilder`], which performs the
+//! necessary sorting and deduplication once.
+
+use crate::label::{Label, LabelInterner};
+use crate::label_index::LabelIndex;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`]; contiguous from `0`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a directed edge `(src, dst)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+}
+
+impl EdgeId {
+    /// Creates an edge id from its endpoints.
+    pub fn new(src: NodeId, dst: NodeId) -> Self {
+        EdgeId { src, dst }
+    }
+}
+
+/// A node-labeled directed data graph.
+///
+/// The size of the graph, written `|G|` in the paper, is the number of nodes
+/// plus the number of edges ([`Graph::size`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    pub(crate) interner: LabelInterner,
+    pub(crate) labels: Vec<Label>,
+    pub(crate) values: Vec<Value>,
+    /// Sorted out-adjacency per node.
+    pub(crate) out: Vec<Vec<NodeId>>,
+    /// Sorted in-adjacency per node.
+    pub(crate) inc: Vec<Vec<NodeId>>,
+    pub(crate) edge_count: usize,
+    pub(crate) label_index: LabelIndex,
+}
+
+impl Graph {
+    /// Creates an empty graph with an empty label alphabet.
+    pub fn empty() -> Self {
+        Graph {
+            interner: LabelInterner::new(),
+            labels: Vec::new(),
+            values: Vec::new(),
+            out: Vec::new(),
+            inc: Vec::new(),
+            edge_count: 0,
+            label_index: LabelIndex::default(),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of directed edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The paper's `|G| = |V| + |E|`.
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label interner shared by this graph.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Returns all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// Returns every directed edge `(src, dst)`.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.out.iter().enumerate().flat_map(|(src, dsts)| {
+            dsts.iter()
+                .map(move |&dst| EdgeId::new(NodeId(src as u32), dst))
+        })
+    }
+
+    /// True when `v` is a valid node id of this graph.
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        v.index() < self.labels.len()
+    }
+
+    /// The label `f(v)` of node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not a node of this graph.
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// The label of `v`, or `None` when `v` is out of range.
+    pub fn try_label(&self, v: NodeId) -> Option<Label> {
+        self.labels.get(v.index()).copied()
+    }
+
+    /// The attribute value `ν(v)` of node `v`.
+    pub fn value(&self, v: NodeId) -> &Value {
+        &self.values[v.index()]
+    }
+
+    /// The label name of node `v` (for diagnostics).
+    pub fn label_name(&self, v: NodeId) -> String {
+        self.interner.name_or_placeholder(self.label(v))
+    }
+
+    /// Out-neighbors of `v`, sorted by node id.
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.out[v.index()]
+    }
+
+    /// In-neighbors of `v`, sorted by node id.
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.inc[v.index()]
+    }
+
+    /// All neighbors of `v` (union of in- and out-neighbors, deduplicated,
+    /// sorted).
+    ///
+    /// The paper treats neighborhood as undirected: `v` is a neighbor of `v'`
+    /// when either `(v, v')` or `(v', v)` is an edge.
+    pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let out = &self.out[v.index()];
+        let inc = &self.inc[v.index()];
+        let mut merged = Vec::with_capacity(out.len() + inc.len());
+        let (mut i, mut j) = (0, 0);
+        while i < out.len() && j < inc.len() {
+            match out[i].cmp(&inc[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(out[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(inc[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(out[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&out[i..]);
+        merged.extend_from_slice(&inc[j..]);
+        merged
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.inc[v.index()].len()
+    }
+
+    /// Undirected degree of `v` (number of distinct neighbors).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// True when the directed edge `(src, dst)` exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.out
+            .get(src.index())
+            .is_some_and(|dsts| dsts.binary_search(&dst).is_ok())
+    }
+
+    /// True when `a` and `b` are neighbors in either direction.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.has_edge(a, b) || self.has_edge(b, a)
+    }
+
+    /// All nodes carrying `label`, sorted by node id.
+    pub fn nodes_with_label(&self, label: Label) -> &[NodeId] {
+        self.label_index.nodes(label)
+    }
+
+    /// Number of nodes carrying `label`.
+    pub fn label_count(&self, label: Label) -> usize {
+        self.label_index.count(label)
+    }
+
+    /// Neighbors of `v` (either direction) that carry `label`.
+    pub fn neighbors_with_label(&self, v: NodeId, label: Label) -> Vec<NodeId> {
+        self.neighbors(v)
+            .into_iter()
+            .filter(|&n| self.label(n) == label)
+            .collect()
+    }
+
+    /// Common neighbors of every node in `nodes` (in either direction).
+    ///
+    /// Following the paper, the common neighbors of the empty set are **all**
+    /// nodes of the graph.
+    pub fn common_neighbors(&self, nodes: &[NodeId]) -> Vec<NodeId> {
+        if nodes.is_empty() {
+            return self.nodes().collect();
+        }
+        // Start from the node with the smallest neighborhood to keep the
+        // intersection cheap.
+        let mut sets: Vec<Vec<NodeId>> = nodes.iter().map(|&v| self.neighbors(v)).collect();
+        sets.sort_by_key(Vec::len);
+        let mut acc = sets[0].clone();
+        for set in &sets[1..] {
+            acc.retain(|v| set.binary_search(v).is_ok());
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Common neighbors of `nodes` that carry `label`.
+    pub fn common_neighbors_with_label(&self, nodes: &[NodeId], label: Label) -> Vec<NodeId> {
+        self.common_neighbors(nodes)
+            .into_iter()
+            .filter(|&v| self.label(v) == label)
+            .collect()
+    }
+
+    /// Total number of distinct labels that appear on at least one node.
+    pub fn distinct_label_count(&self) -> usize {
+        self.label_index.distinct_labels()
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::empty()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(|V|={}, |E|={}, labels={})",
+            self.node_count(),
+            self.edge_count(),
+            self.distinct_label_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::graph::NodeId;
+    use crate::value::Value;
+
+    /// Builds the small movie graph used across substrate tests:
+    ///
+    /// ```text
+    ///   award --> movie <-- year
+    ///               |\
+    ///               v v
+    ///          actor   actress
+    ///               \   /
+    ///                v v
+    ///              country
+    /// ```
+    fn movie_graph() -> (crate::Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let award = b.add_node("award", Value::str("Oscar"));
+        let year = b.add_node("year", Value::Int(2012));
+        let movie = b.add_node("movie", Value::str("Argo"));
+        let actor = b.add_node("actor", Value::str("A"));
+        let actress = b.add_node("actress", Value::str("B"));
+        let country = b.add_node("country", Value::str("US"));
+        b.add_edge(award, movie).unwrap();
+        b.add_edge(year, movie).unwrap();
+        b.add_edge(movie, actor).unwrap();
+        b.add_edge(movie, actress).unwrap();
+        b.add_edge(actor, country).unwrap();
+        b.add_edge(actress, country).unwrap();
+        let g = b.build();
+        (g, vec![award, year, movie, actor, actress, country])
+    }
+
+    #[test]
+    fn counts_and_size() {
+        let (g, _) = movie_graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.size(), 12);
+        assert!(!g.is_empty());
+        assert_eq!(g.distinct_label_count(), 6);
+    }
+
+    #[test]
+    fn labels_and_values() {
+        let (g, ids) = movie_graph();
+        let movie = ids[2];
+        assert_eq!(g.label_name(movie), "movie");
+        assert_eq!(g.value(movie), &Value::str("Argo"));
+        assert_eq!(g.value(ids[1]), &Value::Int(2012));
+        assert!(g.contains_node(movie));
+        assert!(!g.contains_node(NodeId(100)));
+        assert_eq!(g.try_label(NodeId(100)), None);
+    }
+
+    #[test]
+    fn adjacency_is_correct() {
+        let (g, ids) = movie_graph();
+        let (award, year, movie, actor, actress, country) =
+            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        assert!(g.has_edge(award, movie));
+        assert!(!g.has_edge(movie, award));
+        assert!(g.are_neighbors(movie, award));
+        assert_eq!(g.out_neighbors(movie), &[actor, actress]);
+        assert_eq!(g.in_neighbors(movie), &[award, year]);
+        assert_eq!(g.neighbors(movie), vec![award, year, actor, actress]);
+        assert_eq!(g.out_degree(movie), 2);
+        assert_eq!(g.in_degree(movie), 2);
+        assert_eq!(g.degree(movie), 4);
+        assert_eq!(g.degree(country), 2);
+    }
+
+    #[test]
+    fn label_index_lookups() {
+        let (g, ids) = movie_graph();
+        let movie_label = g.interner().get("movie").unwrap();
+        assert_eq!(g.nodes_with_label(movie_label), &[ids[2]]);
+        assert_eq!(g.label_count(movie_label), 1);
+        let actor_label = g.interner().get("actor").unwrap();
+        assert_eq!(g.neighbors_with_label(ids[2], actor_label), vec![ids[3]]);
+    }
+
+    #[test]
+    fn common_neighbors_of_pairs() {
+        let (g, ids) = movie_graph();
+        let (award, year, movie, actor, actress, country) =
+            (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        // award and year share exactly the movie.
+        assert_eq!(g.common_neighbors(&[award, year]), vec![movie]);
+        // actor and actress share movie and country.
+        assert_eq!(g.common_neighbors(&[actor, actress]), vec![movie, country]);
+        let country_label = g.interner().get("country").unwrap();
+        assert_eq!(
+            g.common_neighbors_with_label(&[actor, actress], country_label),
+            vec![country]
+        );
+        // Disconnected pair shares nothing.
+        assert!(g.common_neighbors(&[award, country]).is_empty());
+    }
+
+    #[test]
+    fn common_neighbors_of_empty_set_is_all_nodes() {
+        let (g, _) = movie_graph();
+        assert_eq!(g.common_neighbors(&[]).len(), g.node_count());
+    }
+
+    #[test]
+    fn edges_iterator_enumerates_all_edges() {
+        let (g, _) = movie_graph();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for e in edges {
+            assert!(g.has_edge(e.src, e.dst));
+        }
+    }
+
+    #[test]
+    fn empty_graph_behaviour() {
+        let g = crate::Graph::empty();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert!(g.common_neighbors(&[]).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let (g, ids) = movie_graph();
+        assert!(g.to_string().contains("|V|=6"));
+        assert_eq!(ids[0].to_string(), "v0");
+        assert_eq!(
+            crate::graph::EdgeId::new(ids[0], ids[2]),
+            crate::graph::EdgeId::new(ids[0], ids[2])
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Plain-text interchange format for data graphs.
+//!
+//! The format is line oriented and intentionally simple so that externally
+//! prepared datasets (or scaled-down extracts of the paper's IMDb / DBpedia /
+//! WebBase graphs) can be loaded without extra dependencies:
+//!
+//! ```text
+//! # comment
+//! n <id> <label> [value]        # value is int, float, "string" or omitted
+//! e <src-id> <dst-id>
+//! ```
+//!
+//! Node ids in the file are arbitrary `u64`s; they are remapped to contiguous
+//! [`NodeId`]s on load and written back as the contiguous ids on save.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parses a graph from the text format.
+pub fn read_graph<R: BufRead>(reader: R) -> Result<Graph> {
+    let mut builder = GraphBuilder::new();
+    let mut id_map: HashMap<u64, NodeId> = HashMap::new();
+    let mut pending_edges: Vec<(u64, u64, usize)> = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_num = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("n") => {
+                let id = parse_u64(parts.next(), line_num, "node id")?;
+                let label = parts.next().ok_or_else(|| GraphError::Parse {
+                    line: line_num,
+                    message: "missing node label".into(),
+                })?;
+                let rest: Vec<&str> = parts.collect();
+                let value = parse_value(&rest.join(" "));
+                if id_map.contains_key(&id) {
+                    return Err(GraphError::DuplicateNode(id));
+                }
+                let node = builder.add_node(label, value);
+                id_map.insert(id, node);
+            }
+            Some("e") => {
+                let src = parse_u64(parts.next(), line_num, "edge source")?;
+                let dst = parse_u64(parts.next(), line_num, "edge destination")?;
+                pending_edges.push((src, dst, line_num));
+            }
+            Some(other) => {
+                return Err(GraphError::Parse {
+                    line: line_num,
+                    message: format!("unknown record type {other:?}"),
+                });
+            }
+            None => {}
+        }
+    }
+
+    for (src, dst, line) in pending_edges {
+        let (Some(&s), Some(&d)) = (id_map.get(&src), id_map.get(&dst)) else {
+            return Err(GraphError::Parse {
+                line,
+                message: format!("edge ({src}, {dst}) references an undeclared node"),
+            });
+        };
+        builder.add_edge(s, d)?;
+    }
+    Ok(builder.build())
+}
+
+/// Loads a graph from a file in the text format.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_graph(std::io::BufReader::new(file))
+}
+
+/// Serializes a graph into the text format.
+pub fn write_graph<W: Write>(graph: &Graph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# bgpq graph: {} nodes, {} edges", graph.node_count(), graph.edge_count())?;
+    for v in graph.nodes() {
+        let label = graph.label_name(v);
+        match graph.value(v) {
+            Value::Null => writeln!(w, "n {} {}", v.0, label)?,
+            Value::Int(i) => writeln!(w, "n {} {} {}", v.0, label, i)?,
+            Value::Float(x) => writeln!(w, "n {} {} {}", v.0, label, x)?,
+            Value::Bool(b) => writeln!(w, "n {} {} {}", v.0, label, b)?,
+            Value::Str(s) => writeln!(w, "n {} {} {:?}", v.0, label, s)?,
+        }
+    }
+    for e in graph.edges() {
+        writeln!(w, "e {} {}", e.src.0, e.dst.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a graph to a file in the text format.
+pub fn save_graph(graph: &Graph, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_graph(graph, file)
+}
+
+fn parse_u64(token: Option<&str>, line: usize, what: &str) -> Result<u64> {
+    token
+        .ok_or_else(|| GraphError::Parse {
+            line,
+            message: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| GraphError::Parse {
+            line,
+            message: format!("invalid {what}"),
+        })
+}
+
+fn parse_value(raw: &str) -> Value {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Value::Null;
+    }
+    if raw.starts_with('"') && raw.ends_with('"') && raw.len() >= 2 {
+        return Value::Str(raw[1..raw.len() - 1].to_string());
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Value::Float(f);
+    }
+    if raw == "true" {
+        return Value::Bool(true);
+    }
+    if raw == "false" {
+        return Value::Bool(false);
+    }
+    Value::Str(raw.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn round_trip_through_text_format() {
+        let mut b = GraphBuilder::new();
+        let m = b.add_node("movie", Value::str("Argo"));
+        let y = b.add_node("year", Value::Int(2012));
+        let r = b.add_node("rating", Value::Float(7.7));
+        let f = b.add_node("flag", Value::Bool(true));
+        let n = b.add_node("misc", Value::Null);
+        b.add_edge(y, m).unwrap();
+        b.add_edge(m, r).unwrap();
+        b.add_edge(m, f).unwrap();
+        b.add_edge(m, n).unwrap();
+        let g = b.build();
+
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(std::io::Cursor::new(buf)).unwrap();
+
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.value(m), &Value::str("Argo"));
+        assert_eq!(g2.value(y), &Value::Int(2012));
+        assert_eq!(g2.value(r), &Value::Float(7.7));
+        assert_eq!(g2.value(f), &Value::Bool(true));
+        assert_eq!(g2.value(n), &Value::Null);
+        assert!(g2.has_edge(y, m));
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# header\n\n n 0 movie \"X\"\nn 1 actor\ne 0 1\n";
+        let g = read_graph(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn non_contiguous_ids_are_remapped() {
+        let text = "n 100 a\nn 7 b\ne 100 7\n";
+        let g = read_graph(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn edge_before_node_declaration_is_allowed() {
+        let text = "e 1 2\nn 1 a\nn 2 b\n";
+        let g = read_graph(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let bad_type = "x 1 2\n";
+        let err = read_graph(std::io::Cursor::new(bad_type)).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+
+        let missing_label = "n 5\n";
+        let err = read_graph(std::io::Cursor::new(missing_label)).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+
+        let dup = "n 1 a\nn 1 b\n";
+        let err = read_graph(std::io::Cursor::new(dup)).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateNode(1)));
+
+        let dangling = "n 1 a\ne 1 9\n";
+        let err = read_graph(std::io::Cursor::new(dangling)).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn value_parsing_rules() {
+        assert_eq!(parse_value(""), Value::Null);
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("-3"), Value::Int(-3));
+        assert_eq!(parse_value("2.5"), Value::Float(2.5));
+        assert_eq!(parse_value("true"), Value::Bool(true));
+        assert_eq!(parse_value("\"hi there\""), Value::str("hi there"));
+        assert_eq!(parse_value("bare"), Value::str("bare"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", Value::Int(1));
+        let c = b.add_node("b", Value::Int(2));
+        b.add_edge(a, c).unwrap();
+        let g = b.build();
+        let dir = std::env::temp_dir().join("bgpq_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,186 @@
+//! Interned node labels.
+//!
+//! The paper assumes a finite alphabet `Σ` of labels such as `movie`,
+//! `actor`, `award` or `year`. Access constraints, pattern nodes and data
+//! nodes all refer to labels, so the whole workspace benefits from comparing
+//! labels as small integers rather than strings. [`LabelInterner`] owns the
+//! mapping between label names and [`Label`] ids; every [`crate::Graph`]
+//! carries one.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact, interned label identifier.
+///
+/// `Label` is `Copy` and ordered so that sets of labels (the `S` of an access
+/// constraint `S → (l, N)`) can be kept sorted and compared cheaply.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// Returns the raw index of this label.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for Label {
+    fn from(v: u32) -> Self {
+        Label(v)
+    }
+}
+
+/// Bidirectional mapping between label names and [`Label`] ids.
+///
+/// Interners are append-only: once a name is registered its id never changes,
+/// which lets graphs, schemas and patterns built against the same interner be
+/// compared and combined safely.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    by_name: HashMap<String, Label>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its existing id if already present.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&label) = self.by_name.get(name) {
+            return label;
+        }
+        let label = Label(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), label);
+        label
+    }
+
+    /// Interns every name in `names`, returning the ids in order.
+    pub fn intern_all<'a, I>(&mut self, names: I) -> Vec<Label>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        names.into_iter().map(|n| self.intern(n)).collect()
+    }
+
+    /// Looks up a previously interned name.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `label`, if it has been interned.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.index()).map(String::as_str)
+    }
+
+    /// Returns the name of `label`, or a synthesized placeholder when unknown.
+    pub fn name_or_placeholder(&self, label: Label) -> String {
+        self.name(label)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("<{label}>"))
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Label, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+
+    /// Returns all label ids in id order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.names.len() as u32).map(Label)
+    }
+
+    /// True when `label` belongs to this interner.
+    pub fn contains(&self, label: Label) -> bool {
+        label.index() < self.names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("movie");
+        let b = interner.intern("actor");
+        let a2 = interner.intern("movie");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let mut interner = LabelInterner::new();
+        let movie = interner.intern("movie");
+        assert_eq!(interner.get("movie"), Some(movie));
+        assert_eq!(interner.get("award"), None);
+        assert_eq!(interner.name(movie), Some("movie"));
+        assert_eq!(interner.name(Label(99)), None);
+        assert_eq!(interner.name_or_placeholder(Label(99)), "<L99>");
+    }
+
+    #[test]
+    fn intern_all_preserves_order() {
+        let mut interner = LabelInterner::new();
+        let labels = interner.intern_all(["a", "b", "c", "b"]);
+        assert_eq!(labels.len(), 4);
+        assert_eq!(labels[1], labels[3]);
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn iteration_matches_contents() {
+        let mut interner = LabelInterner::new();
+        interner.intern_all(["x", "y"]);
+        let pairs: Vec<_> = interner.iter().map(|(l, n)| (l.0, n.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_string()), (1, "y".to_string())]);
+        assert!(interner.contains(Label(1)));
+        assert!(!interner.contains(Label(2)));
+    }
+
+    #[test]
+    fn labels_are_ordered_by_id() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        assert!(a < b);
+        let collected: Vec<_> = interner.labels().collect();
+        assert_eq!(collected, vec![a, b]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Label(5).to_string(), "L5");
+        assert_eq!(Label::from(3u32), Label(3));
+        assert_eq!(Label(7).index(), 7);
+    }
+}

@@ -1,0 +1,111 @@
+//! Label → node index.
+//!
+//! Access constraints of type (1) (`∅ → (l, N)`) bound the number of nodes of
+//! the whole graph that carry label `l`, and query plans start by fetching
+//! exactly those nodes. [`LabelIndex`] provides that lookup in O(1) plus the
+//! size of the answer.
+
+use crate::graph::NodeId;
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+
+/// Maps each label to the sorted list of node ids carrying it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelIndex {
+    /// `buckets[label.index()]` is the sorted list of nodes with that label.
+    buckets: Vec<Vec<NodeId>>,
+}
+
+impl LabelIndex {
+    /// Builds an index from a per-node label assignment.
+    pub fn build(labels: &[Label]) -> Self {
+        let max = labels.iter().map(|l| l.index() + 1).max().unwrap_or(0);
+        let mut buckets = vec![Vec::new(); max];
+        for (i, label) in labels.iter().enumerate() {
+            buckets[label.index()].push(NodeId(i as u32));
+        }
+        // Node ids are pushed in increasing order, so each bucket is sorted.
+        LabelIndex { buckets }
+    }
+
+    /// All nodes carrying `label` (empty slice when the label is unused).
+    pub fn nodes(&self, label: Label) -> &[NodeId] {
+        self.buckets
+            .get(label.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of nodes carrying `label`.
+    pub fn count(&self, label: Label) -> usize {
+        self.nodes(label).len()
+    }
+
+    /// Number of labels that appear on at least one node.
+    pub fn distinct_labels(&self) -> usize {
+        self.buckets.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Iterates over `(label, nodes)` pairs for labels with at least one node.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &[NodeId])> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, b)| (Label(i as u32), b.as_slice()))
+    }
+
+    /// The most frequent label and its frequency, if any node exists.
+    pub fn max_frequency(&self) -> Option<(Label, usize)> {
+        self.iter()
+            .map(|(l, nodes)| (l, nodes.len()))
+            .max_by_key(|&(_, n)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_groups_nodes_by_label() {
+        let labels = vec![Label(0), Label(1), Label(0), Label(2), Label(1)];
+        let idx = LabelIndex::build(&labels);
+        assert_eq!(idx.nodes(Label(0)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(idx.nodes(Label(1)), &[NodeId(1), NodeId(4)]);
+        assert_eq!(idx.nodes(Label(2)), &[NodeId(3)]);
+        assert_eq!(idx.count(Label(0)), 2);
+        assert_eq!(idx.distinct_labels(), 3);
+    }
+
+    #[test]
+    fn unknown_labels_are_empty() {
+        let idx = LabelIndex::build(&[Label(0)]);
+        assert!(idx.nodes(Label(5)).is_empty());
+        assert_eq!(idx.count(Label(5)), 0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = LabelIndex::build(&[]);
+        assert_eq!(idx.distinct_labels(), 0);
+        assert_eq!(idx.max_frequency(), None);
+        assert_eq!(idx.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_skips_unused_labels() {
+        // Label 1 never appears even though label 2 does.
+        let labels = vec![Label(0), Label(2)];
+        let idx = LabelIndex::build(&labels);
+        let seen: Vec<u32> = idx.iter().map(|(l, _)| l.0).collect();
+        assert_eq!(seen, vec![0, 2]);
+    }
+
+    #[test]
+    fn max_frequency_finds_dominant_label() {
+        let labels = vec![Label(0), Label(1), Label(1), Label(1), Label(2)];
+        let idx = LabelIndex::build(&labels);
+        assert_eq!(idx.max_frequency(), Some((Label(1), 3)));
+    }
+}

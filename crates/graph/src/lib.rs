@@ -1,0 +1,51 @@
+//! # bgpq-graph
+//!
+//! Data-graph substrate for the `bgpq` workspace, a reproduction of
+//! *"Making Pattern Queries Bounded in Big Graphs"* (Cao, Fan, Huai, Huang,
+//! ICDE 2015).
+//!
+//! The paper models a data graph as a node-labeled directed graph
+//! `G = (V, E, f, ν)` where every node `v` carries a label `f(v)` drawn from
+//! a finite alphabet `Σ` and an attribute value `ν(v)` interpreted under that
+//! label (e.g. `year = 2011`). This crate provides:
+//!
+//! * [`Label`] / [`LabelInterner`] — interned labels so that the rest of the
+//!   workspace works with cheap `u32` identifiers instead of strings;
+//! * [`Value`] — attribute values with a total order, used by pattern
+//!   predicates;
+//! * [`Graph`] and [`GraphBuilder`] — the graph storage with out/in adjacency
+//!   lists, per-label node indexes and neighbor/common-neighbor queries;
+//! * [`Subgraph`] — the representation of the bounded fragment `G_Q` that a
+//!   query plan fetches from `G`;
+//! * [`stats`] — degree / label-frequency statistics used when discovering
+//!   access constraints;
+//! * [`io`] — a plain-text interchange format for graphs.
+//!
+//! Everything here is deliberately free of any pattern-matching or
+//! access-constraint logic: those live in `bgpq-pattern`, `bgpq-access`,
+//! `bgpq-matching` and `bgpq-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod label;
+pub mod label_index;
+pub mod stats;
+pub mod subgraph;
+pub mod value;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{EdgeId, Graph, NodeId};
+pub use label::{Label, LabelInterner};
+pub use label_index::LabelIndex;
+pub use stats::GraphStats;
+pub use subgraph::Subgraph;
+pub use value::Value;
+
+/// Convenient `Result` alias used across the graph substrate.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,174 @@
+//! Graph statistics used to discover access constraints.
+//!
+//! Section II of the paper suggests four ways of finding access constraints
+//! in real data: degree bounds, global label counts, functional dependencies
+//! and aggregate queries. All of them reduce to simple statistics over the
+//! graph which [`GraphStats`] collects in one pass:
+//!
+//! * how many nodes carry each label (type-1 constraints `∅ → (l, N)`);
+//! * for each ordered label pair `(l, l')`, the maximum number of
+//!   `l'`-labeled neighbors any `l`-labeled node has (type-2 constraints
+//!   `l → (l', N)`, and `N = 1` corresponds to an FD);
+//! * degree distribution summaries used for reporting.
+
+use crate::graph::{Graph, NodeId};
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate statistics of a data graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of nodes per label.
+    pub label_counts: HashMap<Label, usize>,
+    /// `fanout[(l, l')]` = max over `l`-labeled nodes of the number of
+    /// neighbors (either direction) labeled `l'`.
+    pub max_label_fanout: HashMap<(Label, Label), usize>,
+    /// Maximum undirected degree over all nodes.
+    pub max_degree: usize,
+    /// Average undirected degree over all nodes.
+    pub avg_degree: f64,
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Number of edges.
+    pub edge_count: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph` in `O(|V| + Σ_v deg(v)·1)` plus the
+    /// per-node label-grouping cost.
+    pub fn compute(graph: &Graph) -> Self {
+        let mut label_counts: HashMap<Label, usize> = HashMap::new();
+        let mut max_label_fanout: HashMap<(Label, Label), usize> = HashMap::new();
+        let mut max_degree = 0usize;
+        let mut total_degree = 0usize;
+
+        let mut per_label: HashMap<Label, usize> = HashMap::new();
+        for v in graph.nodes() {
+            let lv = graph.label(v);
+            *label_counts.entry(lv).or_insert(0) += 1;
+
+            let neighbors = graph.neighbors(v);
+            max_degree = max_degree.max(neighbors.len());
+            total_degree += neighbors.len();
+
+            per_label.clear();
+            for &n in &neighbors {
+                *per_label.entry(graph.label(n)).or_insert(0) += 1;
+            }
+            for (&ln, &count) in &per_label {
+                let entry = max_label_fanout.entry((lv, ln)).or_insert(0);
+                *entry = (*entry).max(count);
+            }
+        }
+
+        let node_count = graph.node_count();
+        GraphStats {
+            label_counts,
+            max_label_fanout,
+            max_degree,
+            avg_degree: if node_count == 0 {
+                0.0
+            } else {
+                total_degree as f64 / node_count as f64
+            },
+            node_count,
+            edge_count: graph.edge_count(),
+        }
+    }
+
+    /// Number of nodes labeled `l` (0 when the label is unused).
+    pub fn label_count(&self, l: Label) -> usize {
+        self.label_counts.get(&l).copied().unwrap_or(0)
+    }
+
+    /// Maximum number of `l2`-labeled neighbors of any `l1`-labeled node.
+    pub fn fanout(&self, l1: Label, l2: Label) -> usize {
+        self.max_label_fanout.get(&(l1, l2)).copied().unwrap_or(0)
+    }
+
+    /// Labels sorted by increasing frequency (rarest first); useful when
+    /// choosing which global constraints are worth indexing.
+    pub fn labels_by_frequency(&self) -> Vec<(Label, usize)> {
+        let mut v: Vec<(Label, usize)> = self.label_counts.iter().map(|(&l, &c)| (l, c)).collect();
+        v.sort_by_key(|&(l, c)| (c, l));
+        v
+    }
+
+    /// The undirected degree of a specific node, recomputed from the graph.
+    pub fn degree_of(graph: &Graph, v: NodeId) -> usize {
+        graph.degree(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::value::Value;
+
+    fn star_graph(center_label: &str, leaf_label: &str, leaves: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let c = b.add_node(center_label, Value::Null);
+        for _ in 0..leaves {
+            let leaf = b.add_node(leaf_label, Value::Null);
+            b.add_edge(c, leaf).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn label_counts_are_exact() {
+        let g = star_graph("movie", "actor", 5);
+        let stats = GraphStats::compute(&g);
+        let movie = g.interner().get("movie").unwrap();
+        let actor = g.interner().get("actor").unwrap();
+        assert_eq!(stats.label_count(movie), 1);
+        assert_eq!(stats.label_count(actor), 5);
+        assert_eq!(stats.node_count, 6);
+        assert_eq!(stats.edge_count, 5);
+    }
+
+    #[test]
+    fn fanout_captures_max_neighbor_count_per_label_pair() {
+        let g = star_graph("movie", "actor", 4);
+        let stats = GraphStats::compute(&g);
+        let movie = g.interner().get("movie").unwrap();
+        let actor = g.interner().get("actor").unwrap();
+        // The movie sees 4 actors; each actor sees 1 movie.
+        assert_eq!(stats.fanout(movie, actor), 4);
+        assert_eq!(stats.fanout(actor, movie), 1);
+        // Unrelated pairs default to 0.
+        assert_eq!(stats.fanout(actor, actor), 0);
+    }
+
+    #[test]
+    fn degree_summaries() {
+        let g = star_graph("c", "l", 3);
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.max_degree, 3);
+        // degrees: center 3, three leaves 1 → avg 6/4
+        assert!((stats.avg_degree - 1.5).abs() < 1e-9);
+        assert_eq!(GraphStats::degree_of(&g, NodeId(0)), 3);
+    }
+
+    #[test]
+    fn labels_by_frequency_sorts_rarest_first() {
+        let g = star_graph("hub", "leaf", 7);
+        let stats = GraphStats::compute(&g);
+        let order = stats.labels_by_frequency();
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0].1, 1);
+        assert_eq!(order[1].1, 7);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::empty();
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.node_count, 0);
+        assert_eq!(stats.max_degree, 0);
+        assert_eq!(stats.avg_degree, 0.0);
+        assert!(stats.labels_by_frequency().is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Subgraph fragments `G_Q ⊆ G`.
+//!
+//! A query plan for an effectively bounded query fetches a *bounded* set of
+//! nodes and edges from the big graph `G`; [`Subgraph`] is the container for
+//! that fragment. It stores parent node ids and parent edges, and can be
+//! materialized into a standalone [`Graph`] (sharing the parent's label
+//! alphabet) on which the match algorithms run, together with the mapping
+//! back to parent node ids so matches can be reported over `G`.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of nodes and edges of some parent graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subgraph {
+    nodes: BTreeSet<NodeId>,
+    edges: BTreeSet<(NodeId, NodeId)>,
+}
+
+/// A [`Subgraph`] materialized as a standalone [`Graph`].
+#[derive(Debug, Clone)]
+pub struct MaterializedSubgraph {
+    /// The standalone graph over renumbered node ids.
+    pub graph: Graph,
+    /// `to_parent[new_id] = parent_id` for every node of `graph`.
+    pub to_parent: Vec<NodeId>,
+}
+
+impl MaterializedSubgraph {
+    /// Translates a node of the materialized graph back to the parent graph.
+    pub fn parent_node(&self, local: NodeId) -> NodeId {
+        self.to_parent[local.index()]
+    }
+}
+
+impl Subgraph {
+    /// Creates an empty subgraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The subgraph induced by `nodes` in `parent`: it contains every edge of
+    /// `parent` whose both endpoints are in `nodes`.
+    pub fn induced(parent: &Graph, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let node_set: BTreeSet<NodeId> = nodes.into_iter().collect();
+        let mut edges = BTreeSet::new();
+        for &v in &node_set {
+            for &w in parent.out_neighbors(v) {
+                if node_set.contains(&w) {
+                    edges.insert((v, w));
+                }
+            }
+        }
+        Subgraph {
+            nodes: node_set,
+            edges,
+        }
+    }
+
+    /// Adds a (parent) node to the fragment.
+    pub fn insert_node(&mut self, v: NodeId) -> bool {
+        self.nodes.insert(v)
+    }
+
+    /// Adds a (parent) directed edge to the fragment; both endpoints are
+    /// inserted as well so the fragment stays a well-formed graph.
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        self.nodes.insert(src);
+        self.nodes.insert(dst);
+        self.edges.insert((src, dst))
+    }
+
+    /// Nodes of the fragment (parent ids, ascending).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Edges of the fragment (parent ids, ascending).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// True when the fragment contains `v`.
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// True when the fragment contains the directed edge `(src, dst)`.
+    pub fn contains_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.edges.contains(&(src, dst))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `|G_Q| = |V_Q| + |E_Q|`.
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// True when the fragment has neither nodes nor edges.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+
+    /// Merges another fragment into this one.
+    pub fn union_with(&mut self, other: &Subgraph) {
+        self.nodes.extend(other.nodes.iter().copied());
+        self.edges.extend(other.edges.iter().copied());
+    }
+
+    /// Checks that every edge of the fragment exists in `parent` and that
+    /// every node id is valid — i.e. the fragment really is a subgraph of
+    /// `parent`.
+    pub fn is_subgraph_of(&self, parent: &Graph) -> bool {
+        self.nodes.iter().all(|&v| parent.contains_node(v))
+            && self.edges.iter().all(|&(s, d)| parent.has_edge(s, d))
+    }
+
+    /// Materializes the fragment as a standalone [`Graph`] carrying the
+    /// parent's labels, values and label alphabet.
+    pub fn materialize(&self, parent: &Graph) -> MaterializedSubgraph {
+        let mut builder = GraphBuilder::with_interner(parent.interner().clone());
+        let mut to_local: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut to_parent = Vec::with_capacity(self.nodes.len());
+        for &v in &self.nodes {
+            let local = builder.add_node_labeled(parent.label(v), parent.value(v).clone());
+            to_local.insert(v, local);
+            to_parent.push(v);
+        }
+        for &(src, dst) in &self.edges {
+            let (ls, ld) = (to_local[&src], to_local[&dst]);
+            builder
+                .add_edge(ls, ld)
+                .expect("endpoints were inserted above");
+        }
+        MaterializedSubgraph {
+            graph: builder.build(),
+            to_parent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn chain_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(&format!("l{i}"), Value::Int(i as i64)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn insert_edge_adds_endpoints() {
+        let mut s = Subgraph::new();
+        assert!(s.insert_edge(NodeId(3), NodeId(5)));
+        assert!(s.contains_node(NodeId(3)));
+        assert!(s.contains_node(NodeId(5)));
+        assert!(s.contains_edge(NodeId(3), NodeId(5)));
+        assert!(!s.contains_edge(NodeId(5), NodeId(3)));
+        assert_eq!(s.size(), 3);
+        // Re-inserting is a no-op.
+        assert!(!s.insert_edge(NodeId(3), NodeId(5)));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = chain_graph(5);
+        let s = Subgraph::induced(&g, [NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.edge_count(), 1); // only (1,2); (2,3) and (3,4) touch node 3
+        assert!(s.contains_edge(NodeId(1), NodeId(2)));
+        assert!(s.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn is_subgraph_of_detects_foreign_edges() {
+        let g = chain_graph(3);
+        let mut s = Subgraph::new();
+        s.insert_edge(NodeId(0), NodeId(2)); // not an edge of the chain
+        assert!(!s.is_subgraph_of(&g));
+        let mut s2 = Subgraph::new();
+        s2.insert_node(NodeId(17)); // not a node of the chain
+        assert!(!s2.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn materialize_preserves_labels_values_and_edges() {
+        let g = chain_graph(4);
+        let s = Subgraph::induced(&g, [NodeId(1), NodeId(2)]);
+        let m = s.materialize(&g);
+        assert_eq!(m.graph.node_count(), 2);
+        assert_eq!(m.graph.edge_count(), 1);
+        // Labels and values carried over.
+        let local_of_1 = NodeId(0); // parent node 1 is the smallest, so local 0
+        assert_eq!(m.parent_node(local_of_1), NodeId(1));
+        assert_eq!(m.graph.label(local_of_1), g.label(NodeId(1)));
+        assert_eq!(m.graph.value(local_of_1), g.value(NodeId(1)));
+        // The interner is shared, so label names resolve identically.
+        assert_eq!(m.graph.label_name(local_of_1), "l1");
+    }
+
+    #[test]
+    fn union_merges_fragments() {
+        let mut a = Subgraph::new();
+        a.insert_edge(NodeId(0), NodeId(1));
+        let mut b = Subgraph::new();
+        b.insert_edge(NodeId(1), NodeId(2));
+        a.union_with(&b);
+        assert_eq!(a.node_count(), 3);
+        assert_eq!(a.edge_count(), 2);
+        assert!(!a.is_empty());
+        assert!(Subgraph::new().is_empty());
+    }
+
+    #[test]
+    fn empty_materialization() {
+        let g = chain_graph(2);
+        let m = Subgraph::new().materialize(&g);
+        assert_eq!(m.graph.node_count(), 0);
+        assert_eq!(m.graph.edge_count(), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Node attribute values.
+//!
+//! In the paper every data node `v` carries an attribute value `ν(v)` of its
+//! label, e.g. `year = 2011`, and pattern predicates compare that value with
+//! constants using `=, ≠, <, ≤, >, ≥`. [`Value`] is the dynamically typed
+//! value used on both sides of those comparisons.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed attribute value attached to a data node.
+///
+/// Values of different types are never considered equal (apart from the
+/// integer/float numeric tower, which compares numerically) and comparisons
+/// across incomparable types return `None` from [`Value::partial_cmp_value`].
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// Absence of a value; the default for nodes without attributes.
+    #[default]
+    Null,
+    /// Boolean attribute.
+    Bool(bool),
+    /// 64-bit signed integer attribute (years, counts, ids...).
+    Int(i64),
+    /// 64-bit float attribute (ratings, weights...).
+    Float(f64),
+    /// String attribute (names, titles, URLs...).
+    Str(String),
+}
+
+impl Value {
+    /// Builds a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Returns `true` when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer content, if this value is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float content, coercing integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string content, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Compares two values, returning `None` when the types are incomparable.
+    ///
+    /// Numeric values (`Int`, `Float`) are compared on the numeric line;
+    /// `NaN` floats are incomparable with everything including themselves.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Some(Ordering::Equal),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Structural/numeric equality used by `=` predicates.
+    pub fn eq_value(&self, other: &Value) -> bool {
+        matches!(self.partial_cmp_value(other), Some(Ordering::Equal))
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.eq_value(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_tower_comparisons() {
+        assert_eq!(
+            Value::Int(3).partial_cmp_value(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(2.5).partial_cmp_value(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(5).partial_cmp_value(&Value::Int(4)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(Value::Int(1).partial_cmp_value(&Value::str("1")), None);
+        assert_eq!(Value::Bool(true).partial_cmp_value(&Value::Int(1)), None);
+        assert_eq!(Value::Null.partial_cmp_value(&Value::Int(0)), None);
+    }
+
+    #[test]
+    fn nan_is_incomparable() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.partial_cmp_value(&Value::Float(1.0)), None);
+        assert!(!nan.eq_value(&nan));
+    }
+
+    #[test]
+    fn equality_follows_numeric_comparison() {
+        assert_eq!(Value::Int(7), Value::Float(7.0));
+        assert_ne!(Value::Int(7), Value::str("7"));
+        assert_eq!(Value::str("abc"), Value::str("abc"));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3i64).as_int(), Some(3));
+        assert_eq!(Value::from(1.5f64).as_float(), Some(1.5));
+        assert_eq!(Value::Int(2).as_float(), Some(2.0));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(String::from("y")).as_str(), Some("y"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn display_and_type_names() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+        assert_eq!(Value::Bool(false).type_name(), "bool");
+        assert_eq!(Value::Float(0.0).type_name(), "float");
+    }
+}

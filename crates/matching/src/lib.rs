@@ -1,0 +1,34 @@
+//! # bgpq-matching
+//!
+//! Baseline graph pattern matching algorithms for the `bgpq` workspace:
+//!
+//! * [`vf2`] — subgraph-isomorphism matching (the paper's `VF2` baseline): a
+//!   backtracking search enumerating every injective mapping of the pattern
+//!   into the data graph that preserves labels, predicates and edges;
+//! * [`opt_vf2`] — `optVF2`: the same search seeded with candidate sets
+//!   narrowed by access-constraint indices;
+//! * [`simulation`] — maximum graph simulation (the paper's `gsim` baseline,
+//!   after Henzinger, Henzinger & Kopke);
+//! * [`opt_simulation`] — `optgsim`: simulation seeded from index-restricted
+//!   candidate sets;
+//! * [`result`] — the match/relation types shared with the bounded
+//!   executors of `bgpq-core`.
+//!
+//! The bounded evaluation of the paper (`bVF2`, `bSim`) lives in
+//! `bgpq-core::exec`; it reuses these algorithms, but runs them on the small
+//! fetched fragment `G_Q` instead of `G`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod opt_simulation;
+pub mod opt_vf2;
+pub mod result;
+pub mod simulation;
+pub mod vf2;
+
+pub use opt_simulation::opt_simulation_match;
+pub use opt_vf2::opt_subgraph_match;
+pub use result::{Match, MatchSet, SimulationRelation};
+pub use simulation::{simulation_match, SimulationMatcher};
+pub use vf2::{SubgraphMatcher, Vf2Config};

@@ -1,0 +1,282 @@
+//! Match results shared by the baselines and the bounded executors.
+
+use bgpq_graph::NodeId;
+use bgpq_pattern::{Pattern, PatternNodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single subgraph-isomorphism match: an injective assignment of a data
+/// node to every pattern node.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Match {
+    /// `assignment[u.index()]` is the data node matched to pattern node `u`.
+    assignment: Vec<NodeId>,
+}
+
+impl Match {
+    /// Creates a match from the per-pattern-node assignment.
+    pub fn new(assignment: Vec<NodeId>) -> Self {
+        Match { assignment }
+    }
+
+    /// The data node matched to pattern node `u`.
+    pub fn node_for(&self, u: PatternNodeId) -> NodeId {
+        self.assignment[u.index()]
+    }
+
+    /// The full assignment, indexed by pattern node.
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.assignment
+    }
+
+    /// Number of pattern nodes covered.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True for the empty match (a pattern with no nodes).
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// True when no data node is used twice (injectivity).
+    pub fn is_injective(&self) -> bool {
+        let distinct: BTreeSet<&NodeId> = self.assignment.iter().collect();
+        distinct.len() == self.assignment.len()
+    }
+
+    /// Remaps every data node id through `f` (used to translate matches on a
+    /// materialized fragment `G_Q` back to ids of the parent graph `G`).
+    pub fn map_nodes(&self, mut f: impl FnMut(NodeId) -> NodeId) -> Match {
+        Match {
+            assignment: self.assignment.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Match {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .assignment
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("u{i}->{v}"))
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+/// The answer set of a subgraph query: all matches, deduplicated and sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchSet {
+    matches: Vec<Match>,
+}
+
+impl MatchSet {
+    /// Creates a match set, deduplicating and sorting the matches so two
+    /// sets computed by different algorithms can be compared directly.
+    pub fn new(matches: impl IntoIterator<Item = Match>) -> Self {
+        let set: BTreeSet<Match> = matches.into_iter().collect();
+        MatchSet {
+            matches: set.into_iter().collect(),
+        }
+    }
+
+    /// The matches in canonical order.
+    pub fn matches(&self) -> &[Match] {
+        &self.matches
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when the query has no match.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Iterates over the matches.
+    pub fn iter(&self) -> impl Iterator<Item = &Match> {
+        self.matches.iter()
+    }
+}
+
+impl FromIterator<Match> for MatchSet {
+    fn from_iter<T: IntoIterator<Item = Match>>(iter: T) -> Self {
+        MatchSet::new(iter)
+    }
+}
+
+/// The maximum graph-simulation relation `R_M ⊆ V_Q × V`.
+///
+/// Per the paper (and Henzinger-Henzinger-Kopke), the maximum match relation
+/// is unique and possibly empty; it is non-empty only when **every** pattern
+/// node has at least one simulating data node.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimulationRelation {
+    /// `relation[u.index()]` = sorted data nodes simulating pattern node `u`.
+    relation: Vec<Vec<NodeId>>,
+}
+
+impl SimulationRelation {
+    /// The empty relation (no pattern node matches).
+    pub fn empty(pattern_nodes: usize) -> Self {
+        SimulationRelation {
+            relation: vec![Vec::new(); pattern_nodes],
+        }
+    }
+
+    /// Builds a relation from per-pattern-node match lists. If any list is
+    /// empty the whole relation collapses to the empty relation, mirroring
+    /// the totality requirement of the definition.
+    pub fn from_candidates(candidates: Vec<Vec<NodeId>>) -> Self {
+        if candidates.iter().any(Vec::is_empty) {
+            return SimulationRelation::empty(candidates.len());
+        }
+        let relation = candidates
+            .into_iter()
+            .map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        SimulationRelation { relation }
+    }
+
+    /// Data nodes simulating pattern node `u`.
+    pub fn matches_of(&self, u: PatternNodeId) -> &[NodeId] {
+        self.relation
+            .get(u.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True when `(u, v)` is in the relation.
+    pub fn contains(&self, u: PatternNodeId, v: NodeId) -> bool {
+        self.matches_of(u).binary_search(&v).is_ok()
+    }
+
+    /// Number of pattern nodes the relation was computed for.
+    pub fn pattern_node_count(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// Total number of `(u, v)` pairs.
+    pub fn pair_count(&self) -> usize {
+        self.relation.iter().map(Vec::len).sum()
+    }
+
+    /// True when the relation is empty (the query has no match).
+    pub fn is_empty(&self) -> bool {
+        self.pair_count() == 0
+    }
+
+    /// True when every pattern node of `pattern` has at least one match.
+    pub fn is_total_for(&self, pattern: &Pattern) -> bool {
+        pattern.node_count() == self.relation.len()
+            && self.relation.iter().all(|v| !v.is_empty())
+    }
+
+    /// Iterates over all `(u, v)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (PatternNodeId, NodeId)> + '_ {
+        self.relation.iter().enumerate().flat_map(|(i, nodes)| {
+            nodes
+                .iter()
+                .map(move |&v| (PatternNodeId(i as u32), v))
+        })
+    }
+
+    /// Remaps every data node id through `f` (fragment → parent translation).
+    pub fn map_nodes(&self, mut f: impl FnMut(NodeId) -> NodeId) -> SimulationRelation {
+        SimulationRelation {
+            relation: self
+                .relation
+                .iter()
+                .map(|nodes| {
+                    let mut mapped: Vec<NodeId> = nodes.iter().map(|&v| f(v)).collect();
+                    mapped.sort_unstable();
+                    mapped
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_accessors_and_injectivity() {
+        let m = Match::new(vec![NodeId(3), NodeId(5), NodeId(7)]);
+        assert_eq!(m.node_for(PatternNodeId(1)), NodeId(5));
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert!(m.is_injective());
+        let dup = Match::new(vec![NodeId(3), NodeId(3)]);
+        assert!(!dup.is_injective());
+        assert!(Match::new(vec![]).is_empty());
+        assert_eq!(m.to_string(), "{u0->v3, u1->v5, u2->v7}");
+    }
+
+    #[test]
+    fn match_map_nodes_translates_ids() {
+        let m = Match::new(vec![NodeId(0), NodeId(1)]);
+        let shifted = m.map_nodes(|v| NodeId(v.0 + 10));
+        assert_eq!(shifted.assignment(), &[NodeId(10), NodeId(11)]);
+    }
+
+    #[test]
+    fn match_set_deduplicates_and_sorts() {
+        let a = Match::new(vec![NodeId(1), NodeId(2)]);
+        let b = Match::new(vec![NodeId(0), NodeId(2)]);
+        let set = MatchSet::new([a.clone(), b.clone(), a.clone()]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.matches()[0], b);
+        assert_eq!(set.matches()[1], a);
+        assert!(!set.is_empty());
+        assert_eq!(set.iter().count(), 2);
+        let from_iter: MatchSet = [a.clone()].into_iter().collect();
+        assert_eq!(from_iter.len(), 1);
+    }
+
+    #[test]
+    fn simulation_relation_totality_rule() {
+        // One empty candidate list collapses everything.
+        let rel = SimulationRelation::from_candidates(vec![vec![NodeId(1)], vec![]]);
+        assert!(rel.is_empty());
+        assert_eq!(rel.pair_count(), 0);
+
+        let rel = SimulationRelation::from_candidates(vec![
+            vec![NodeId(2), NodeId(1), NodeId(2)],
+            vec![NodeId(3)],
+        ]);
+        assert_eq!(rel.pair_count(), 3);
+        assert_eq!(rel.matches_of(PatternNodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert!(rel.contains(PatternNodeId(1), NodeId(3)));
+        assert!(!rel.contains(PatternNodeId(1), NodeId(4)));
+        assert_eq!(rel.pattern_node_count(), 2);
+        assert_eq!(rel.pairs().count(), 3);
+    }
+
+    #[test]
+    fn simulation_relation_map_nodes() {
+        let rel = SimulationRelation::from_candidates(vec![vec![NodeId(5)], vec![NodeId(6)]]);
+        let mapped = rel.map_nodes(|v| NodeId(v.0 * 2));
+        assert_eq!(mapped.matches_of(PatternNodeId(0)), &[NodeId(10)]);
+        assert_eq!(mapped.matches_of(PatternNodeId(1)), &[NodeId(12)]);
+    }
+
+    #[test]
+    fn empty_relation_has_no_pairs() {
+        let rel = SimulationRelation::empty(3);
+        assert!(rel.is_empty());
+        assert_eq!(rel.pattern_node_count(), 3);
+        assert_eq!(rel.matches_of(PatternNodeId(0)), &[] as &[NodeId]);
+        assert_eq!(rel.matches_of(PatternNodeId(9)), &[] as &[NodeId]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Incremental construction of [`Pattern`]s.
+
+use crate::pattern::{Pattern, PatternNodeData, PatternNodeId};
+use crate::predicate::Predicate;
+use bgpq_graph::{Label, LabelInterner};
+use std::collections::BTreeSet;
+
+/// Builder for [`Pattern`].
+///
+/// ```
+/// use bgpq_pattern::{PatternBuilder, Predicate};
+///
+/// let mut b = PatternBuilder::new();
+/// let movie = b.node("movie", Predicate::always());
+/// let year = b.node("year", Predicate::range(2011, 2013));
+/// b.edge(movie, year);
+/// let q = b.build();
+/// assert_eq!(q.node_count(), 2);
+/// assert_eq!(q.edge_count(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PatternBuilder {
+    interner: LabelInterner,
+    nodes: Vec<PatternNodeData>,
+    edges: Vec<(PatternNodeId, PatternNodeId)>,
+    edge_set: BTreeSet<(PatternNodeId, PatternNodeId)>,
+}
+
+impl PatternBuilder {
+    /// Creates a builder with a fresh label interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder that shares label ids with an existing interner
+    /// (typically the one of the data graph the pattern will be evaluated
+    /// against, so label ids line up).
+    pub fn with_interner(interner: LabelInterner) -> Self {
+        PatternBuilder {
+            interner,
+            ..Self::default()
+        }
+    }
+
+    /// The interner populated so far.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Adds a pattern node with a label given by name.
+    pub fn node(&mut self, label_name: &str, predicate: Predicate) -> PatternNodeId {
+        let label = self.interner.intern(label_name);
+        self.node_labeled(label, predicate)
+    }
+
+    /// Adds a named pattern node (the name is only used for diagnostics).
+    pub fn named_node(
+        &mut self,
+        name: &str,
+        label_name: &str,
+        predicate: Predicate,
+    ) -> PatternNodeId {
+        let label = self.interner.intern(label_name);
+        let id = PatternNodeId(self.nodes.len() as u32);
+        self.nodes.push(PatternNodeData {
+            label,
+            predicate,
+            name: Some(name.to_string()),
+        });
+        id
+    }
+
+    /// Adds a pattern node with an already-interned label.
+    pub fn node_labeled(&mut self, label: Label, predicate: Predicate) -> PatternNodeId {
+        let id = PatternNodeId(self.nodes.len() as u32);
+        self.nodes.push(PatternNodeData {
+            label,
+            predicate,
+            name: None,
+        });
+        id
+    }
+
+    /// Adds a directed pattern edge; duplicates and out-of-range endpoints
+    /// are ignored silently (the generator relies on this to stay simple).
+    pub fn edge(&mut self, src: PatternNodeId, dst: PatternNodeId) -> &mut Self {
+        let n = self.nodes.len() as u32;
+        if src.0 < n && dst.0 < n && self.edge_set.insert((src, dst)) {
+            self.edges.push((src, dst));
+        }
+        self
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the edge has already been added.
+    pub fn has_edge(&self, src: PatternNodeId, dst: PatternNodeId) -> bool {
+        self.edge_set.contains(&(src, dst))
+    }
+
+    /// Finalizes the pattern.
+    pub fn build(self) -> Pattern {
+        let n = self.nodes.len();
+        let mut out: Vec<Vec<PatternNodeId>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<PatternNodeId>> = vec![Vec::new(); n];
+        for &(src, dst) in &self.edges {
+            out[src.index()].push(dst);
+            inc[dst.index()].push(src);
+        }
+        for list in out.iter_mut().chain(inc.iter_mut()) {
+            list.sort_unstable();
+        }
+        Pattern {
+            interner: self.interner,
+            nodes: self.nodes,
+            out,
+            inc,
+            edges: self.edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Op;
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut b = PatternBuilder::new();
+        let a = b.node("a", Predicate::always());
+        let c = b.node("b", Predicate::always());
+        b.edge(a, c);
+        b.edge(a, c);
+        assert_eq!(b.edge_count(), 1);
+        assert!(b.has_edge(a, c));
+        assert!(!b.has_edge(c, a));
+        let q = b.build();
+        assert_eq!(q.edge_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_edges_are_ignored() {
+        let mut b = PatternBuilder::new();
+        let a = b.node("a", Predicate::always());
+        b.edge(a, PatternNodeId(9));
+        assert_eq!(b.edge_count(), 0);
+    }
+
+    #[test]
+    fn with_interner_lines_up_label_ids() {
+        let mut interner = LabelInterner::new();
+        let movie = interner.intern("movie");
+        interner.intern("actor");
+        let mut b = PatternBuilder::with_interner(interner);
+        let m = b.node("movie", Predicate::always());
+        assert_eq!(b.interner().get("movie"), Some(movie));
+        let q = b.build();
+        assert_eq!(q.label(m), movie);
+    }
+
+    #[test]
+    fn node_labeled_and_counts() {
+        let b = PatternBuilder::new();
+        let l = b.interner().get("x");
+        assert_eq!(l, None);
+        let lbl = Label(0);
+        let mut b2 = PatternBuilder::new();
+        b2.node("x", Predicate::always());
+        let u = b2.node_labeled(lbl, Predicate::single(Op::Gt, 3));
+        assert_eq!(b2.node_count(), 2);
+        let q = b2.build();
+        assert_eq!(q.label(u), lbl);
+        assert_eq!(q.predicate(u).len(), 1);
+    }
+}

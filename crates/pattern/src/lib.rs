@@ -1,0 +1,32 @@
+//! # bgpq-pattern
+//!
+//! Graph pattern queries for the `bgpq` workspace.
+//!
+//! A pattern query `Q = (V_Q, E_Q, f_Q, g_Q)` is a directed graph whose nodes
+//! carry a label `f_Q(u)` and a predicate `g_Q(u)` — a conjunction of atomic
+//! comparisons `f_Q(u) op c` against constants (Section II of *Making Pattern
+//! Queries Bounded in Big Graphs*, ICDE 2015). The same pattern object is
+//! interpreted under two semantics by downstream crates:
+//!
+//! * **subgraph queries** — matches are subgraphs of `G` isomorphic to `Q`;
+//! * **simulation queries** — the match is the maximum graph-simulation
+//!   relation from `Q` to `G`.
+//!
+//! This crate provides the pattern representation ([`Pattern`],
+//! [`PatternBuilder`], [`Predicate`]) and the random workload generator used
+//! by the experiments ([`generator`]), which mirrors the paper's query
+//! generator controlled by the number of nodes `#n`, edges `#e` and
+//! predicates `#p`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod generator;
+pub mod pattern;
+pub mod predicate;
+
+pub use builder::PatternBuilder;
+pub use generator::{GeneratorConfig, WorkloadGenerator};
+pub use pattern::{Pattern, PatternNodeId};
+pub use predicate::{Atom, Op, Predicate};

@@ -1,0 +1,254 @@
+//! Pattern node predicates.
+//!
+//! The predicate `g_Q(u)` of a pattern node is a conjunction of atomic
+//! formulas `f_Q(u) op c` where `c` is a constant and `op` is one of
+//! `=, ≠, <, ≤, >, ≥`. Evaluating `g_Q(ν(v))` substitutes the data node's
+//! attribute value for `f_Q(u)` in every atom.
+
+use bgpq_graph::Value;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operator of an atomic predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Equality `=`.
+    Eq,
+    /// Inequality `≠`.
+    Ne,
+    /// Strictly less `<`.
+    Lt,
+    /// Less or equal `≤`.
+    Le,
+    /// Strictly greater `>`.
+    Gt,
+    /// Greater or equal `≥`.
+    Ge,
+}
+
+impl Op {
+    /// All operators, in a stable order (useful for random generation).
+    pub const ALL: [Op; 6] = [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge];
+
+    /// Applies the operator to an already-computed ordering.
+    fn holds(self, ord: Ordering) -> bool {
+        match self {
+            Op::Eq => ord == Ordering::Equal,
+            Op::Ne => ord != Ordering::Equal,
+            Op::Lt => ord == Ordering::Less,
+            Op::Le => ord != Ordering::Greater,
+            Op::Gt => ord == Ordering::Greater,
+            Op::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single comparison `value op constant`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    /// The comparison operator.
+    pub op: Op,
+    /// The constant on the right-hand side.
+    pub constant: Value,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(op: Op, constant: impl Into<Value>) -> Self {
+        Atom {
+            op,
+            constant: constant.into(),
+        }
+    }
+
+    /// Evaluates the atom against a data node's attribute value.
+    ///
+    /// Comparisons across incomparable types evaluate to `false` — except for
+    /// `≠`, which holds precisely when the values are not equal.
+    pub fn eval(&self, value: &Value) -> bool {
+        match value.partial_cmp_value(&self.constant) {
+            Some(ord) => self.op.holds(ord),
+            None => self.op == Op::Ne,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x {} {}", self.op, self.constant)
+    }
+}
+
+/// A conjunction of [`Atom`]s; the empty conjunction is `true`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Predicate {
+    atoms: Vec<Atom>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn always() -> Self {
+        Predicate::default()
+    }
+
+    /// A predicate made of the given atoms.
+    pub fn conjunction(atoms: impl IntoIterator<Item = Atom>) -> Self {
+        Predicate {
+            atoms: atoms.into_iter().collect(),
+        }
+    }
+
+    /// Shortcut for a single-atom predicate.
+    pub fn single(op: Op, constant: impl Into<Value>) -> Self {
+        Predicate {
+            atoms: vec![Atom::new(op, constant)],
+        }
+    }
+
+    /// Shortcut for a closed range predicate `lo ≤ x ≤ hi`.
+    pub fn range(lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
+        Predicate {
+            atoms: vec![Atom::new(Op::Ge, lo), Atom::new(Op::Le, hi)],
+        }
+    }
+
+    /// Adds an atom to the conjunction.
+    pub fn and(mut self, op: Op, constant: impl Into<Value>) -> Self {
+        self.atoms.push(Atom::new(op, constant));
+        self
+    }
+
+    /// The atoms of the conjunction.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms (the `#p` contribution of this node).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when the predicate is the empty conjunction.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Evaluates the conjunction against a data node's attribute value.
+    pub fn eval(&self, value: &Value) -> bool {
+        self.atoms.iter().all(|atom| atom.eval(value))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join(" && "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_on_integers() {
+        let v = Value::Int(2012);
+        assert!(Atom::new(Op::Eq, 2012).eval(&v));
+        assert!(Atom::new(Op::Ne, 2011).eval(&v));
+        assert!(Atom::new(Op::Lt, 2013).eval(&v));
+        assert!(Atom::new(Op::Le, 2012).eval(&v));
+        assert!(Atom::new(Op::Gt, 2011).eval(&v));
+        assert!(Atom::new(Op::Ge, 2012).eval(&v));
+        assert!(!Atom::new(Op::Gt, 2012).eval(&v));
+        assert!(!Atom::new(Op::Eq, 2011).eval(&v));
+    }
+
+    #[test]
+    fn operators_on_strings_use_lexicographic_order() {
+        let v = Value::str("canada");
+        assert!(Atom::new(Op::Lt, "france").eval(&v));
+        assert!(Atom::new(Op::Eq, "canada").eval(&v));
+        assert!(!Atom::new(Op::Gt, "france").eval(&v));
+    }
+
+    #[test]
+    fn incomparable_types_fail_except_not_equal() {
+        let v = Value::str("x");
+        assert!(!Atom::new(Op::Eq, 3).eval(&v));
+        assert!(!Atom::new(Op::Lt, 3).eval(&v));
+        assert!(Atom::new(Op::Ne, 3).eval(&v));
+        let null = Value::Null;
+        assert!(!Atom::new(Op::Ge, 0).eval(&null));
+    }
+
+    #[test]
+    fn empty_conjunction_is_true() {
+        assert!(Predicate::always().eval(&Value::Null));
+        assert!(Predicate::always().eval(&Value::Int(5)));
+        assert!(Predicate::always().is_empty());
+        assert_eq!(Predicate::always().to_string(), "true");
+    }
+
+    #[test]
+    fn range_predicate_mirrors_paper_example() {
+        // g_Q(year) = year >= 2011 && year <= 2013 (pattern Q0 of Fig. 1).
+        let p = Predicate::range(2011, 2013);
+        assert!(p.eval(&Value::Int(2011)));
+        assert!(p.eval(&Value::Int(2012)));
+        assert!(p.eval(&Value::Int(2013)));
+        assert!(!p.eval(&Value::Int(2010)));
+        assert!(!p.eval(&Value::Int(2014)));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn conjunction_requires_all_atoms() {
+        let p = Predicate::single(Op::Ge, 10).and(Op::Ne, 15).and(Op::Le, 20);
+        assert!(p.eval(&Value::Int(12)));
+        assert!(!p.eval(&Value::Int(15)));
+        assert!(!p.eval(&Value::Int(25)));
+        assert_eq!(p.atoms().len(), 3);
+    }
+
+    #[test]
+    fn float_and_int_mix() {
+        let p = Predicate::single(Op::Gt, 7.5);
+        assert!(p.eval(&Value::Int(8)));
+        assert!(!p.eval(&Value::Int(7)));
+        assert!(p.eval(&Value::Float(7.6)));
+    }
+
+    #[test]
+    fn display_renders_conjunction() {
+        let p = Predicate::range(1, 2);
+        assert_eq!(p.to_string(), "x >= 1 && x <= 2");
+        assert_eq!(Op::Ne.to_string(), "!=");
+        assert_eq!(Atom::new(Op::Le, 3).to_string(), "x <= 3");
+    }
+
+    #[test]
+    fn all_ops_listed_once() {
+        assert_eq!(Op::ALL.len(), 6);
+        let mut unique = Op::ALL.to_vec();
+        unique.dedup();
+        assert_eq!(unique.len(), 6);
+    }
+}

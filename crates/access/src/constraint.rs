@@ -1,14 +1,11 @@
 //! The access constraint `S → (l, N)`.
 
 use bgpq_graph::{Label, LabelInterner};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a constraint inside an [`crate::AccessSchema`]
 /// (its position in the schema).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ConstraintId(pub u32);
 
 impl ConstraintId {
@@ -26,7 +23,7 @@ impl fmt::Display for ConstraintId {
 }
 
 /// Structural classification of an access constraint (Section II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConstraintKind {
     /// Type (1): `∅ → (l, N)` — at most `N` nodes labeled `l` in the graph.
     Global,
@@ -41,7 +38,7 @@ pub enum ConstraintKind {
 ///
 /// The source `S` is kept as a **sorted, deduplicated** list of labels so
 /// that constraints can be compared and used as keys.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AccessConstraint {
     source: Vec<Label>,
     target: Label,

@@ -209,7 +209,10 @@ mod tests {
                 && c.target() == movie
                 && c.bound() == 2
         });
-        assert!(found, "expected (year, award) -> (movie, 2) to be discovered");
+        assert!(
+            found,
+            "expected (year, award) -> (movie, 2) to be discovered"
+        );
     }
 
     #[test]

@@ -14,7 +14,6 @@
 use crate::constraint::{AccessConstraint, ConstraintId};
 use crate::schema::AccessSchema;
 use bgpq_graph::{Graph, Label, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Upper bound on the number of `S`-labeled combinations materialized per
@@ -24,7 +23,7 @@ use std::collections::HashMap;
 pub const DEFAULT_MAX_COMBINATIONS_PER_NODE: usize = 4096;
 
 /// The index of a single access constraint.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConstraintIndex {
     constraint: AccessConstraint,
     /// Sorted `S`-labeled node tuple → common neighbors labeled `l`.
@@ -231,7 +230,7 @@ impl ConstraintIndex {
 }
 
 /// One [`ConstraintIndex`] per constraint of an [`AccessSchema`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AccessIndexSet {
     schema: AccessSchema,
     indices: Vec<ConstraintIndex>,
@@ -390,10 +389,7 @@ mod tests {
     #[test]
     fn general_index_on_pairs() {
         let (g, year_l, award_l, movie_l, ..) = imdb_toy();
-        let idx = ConstraintIndex::build(
-            &g,
-            AccessConstraint::new([year_l, award_l], movie_l, 4),
-        );
+        let idx = ConstraintIndex::build(&g, AccessConstraint::new([year_l, award_l], movie_l, 4));
         let years = g.nodes_with_label(year_l);
         let awards = g.nodes_with_label(award_l);
         // (y1, a1) has movies 0 and 2; (y2, a1) has movie 1.
@@ -435,10 +431,8 @@ mod tests {
         let (g, _, _, movie_l, actor_l, country_l) = imdb_toy();
         // Constraint (actor, actor) collapses to {actor}: the index behaves
         // like a unary constraint.
-        let idx = ConstraintIndex::build(
-            &g,
-            AccessConstraint::new([actor_l, actor_l], country_l, 10),
-        );
+        let idx =
+            ConstraintIndex::build(&g, AccessConstraint::new([actor_l, actor_l], country_l, 10));
         let a = g.nodes_with_label(actor_l)[0];
         assert_eq!(idx.common_neighbors(&[a, a]).len(), 1);
         assert_eq!(idx.constraint().source_len(), 1);
@@ -512,11 +506,8 @@ mod tests {
         let x_l = g.interner().get("x").unwrap();
         let y_l = g.interner().get("y").unwrap();
         let hub_l = g.interner().get("hub").unwrap();
-        let idx = ConstraintIndex::build_with_cap(
-            &g,
-            AccessConstraint::new([x_l, y_l], hub_l, 1),
-            50,
-        );
+        let idx =
+            ConstraintIndex::build_with_cap(&g, AccessConstraint::new([x_l, y_l], hub_l, 1), 50);
         assert!(idx.is_truncated());
         assert!(idx.key_count() <= 50);
     }

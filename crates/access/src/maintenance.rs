@@ -16,13 +16,12 @@
 
 use crate::index::{AccessIndexSet, DEFAULT_MAX_COMBINATIONS_PER_NODE};
 use bgpq_graph::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A single change applied to the underlying data graph.
 ///
 /// The delta refers to the **new** graph: for insertions the edge/node is
 /// present in the new graph, for deletions it is absent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GraphDelta {
     /// A directed edge was inserted.
     InsertEdge(NodeId, NodeId),

@@ -10,11 +10,10 @@ use crate::constraint::{AccessConstraint, ConstraintId};
 use crate::index::ConstraintIndex;
 use crate::schema::AccessSchema;
 use bgpq_graph::Graph;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A violated constraint together with the observed cardinality.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Position of the violated constraint in the schema.
     pub constraint: ConstraintId,

@@ -2,7 +2,6 @@
 
 use crate::constraint::{AccessConstraint, ConstraintId};
 use bgpq_graph::{Label, LabelInterner};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A set `A` of access constraints, with positional [`ConstraintId`]s.
@@ -11,7 +10,7 @@ use std::collections::HashMap;
 /// `||A||` — the number of constraints ([`AccessSchema::len`]) — and
 /// `|A|` — the total length of all constraints
 /// ([`AccessSchema::total_length`]).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AccessSchema {
     constraints: Vec<AccessConstraint>,
 }
@@ -82,7 +81,8 @@ impl AccessSchema {
         &self,
         label: Label,
     ) -> impl Iterator<Item = (ConstraintId, &AccessConstraint)> {
-        self.iter_with_ids().filter(move |(_, c)| c.target() == label)
+        self.iter_with_ids()
+            .filter(move |(_, c)| c.target() == label)
     }
 
     /// The tightest type (1) bound on `label`, if any global constraint
@@ -191,7 +191,7 @@ mod tests {
     fn sizes_match_paper_measures() {
         let schema = a0();
         assert_eq!(schema.len(), 6); // ||A||
-        // |A| = (2+2) + (1+2)*2 + (0+2)*3 = 4 + 6 + 6 = 16
+                                     // |A| = (2+2) + (1+2)*2 + (0+2)*3 = 4 + 6 + 6 = 16
         assert_eq!(schema.total_length(), 16);
         assert!(!schema.is_empty());
         assert!(AccessSchema::new().is_empty());
@@ -256,7 +256,9 @@ mod tests {
     fn extend_and_from_iterator() {
         let mut a = AccessSchema::new();
         a.add(AccessConstraint::global(Label(0), 1));
-        let b: AccessSchema = [AccessConstraint::global(Label(1), 2)].into_iter().collect();
+        let b: AccessSchema = [AccessConstraint::global(Label(1), 2)]
+            .into_iter()
+            .collect();
         a.extend_from(&b);
         assert_eq!(a.len(), 2);
         let ids: Vec<_> = a.iter_with_ids().map(|(id, _)| id.0).collect();

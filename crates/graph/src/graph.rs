@@ -17,13 +17,10 @@
 use crate::label::{Label, LabelInterner};
 use crate::label_index::LabelIndex;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node in a [`Graph`]; contiguous from `0`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -47,7 +44,7 @@ impl From<u32> for NodeId {
 }
 
 /// Identifier of a directed edge `(src, dst)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId {
     /// Source endpoint.
     pub src: NodeId,
@@ -66,7 +63,7 @@ impl EdgeId {
 ///
 /// The size of the graph, written `|G|` in the paper, is the number of nodes
 /// plus the number of edges ([`Graph::size`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     pub(crate) interner: LabelInterner,
     pub(crate) labels: Vec<Label>,

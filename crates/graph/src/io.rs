@@ -35,34 +35,46 @@ pub fn read_graph<R: BufRead>(reader: R) -> Result<Graph> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        match parts.next() {
-            Some("n") => {
-                let id = parse_u64(parts.next(), line_num, "node id")?;
-                let label = parts.next().ok_or_else(|| GraphError::Parse {
+        let (kind, rest) = split_token(trimmed);
+        match kind {
+            "n" => {
+                // The value is everything after the label token, taken
+                // verbatim (not re-tokenized) so quoted strings keep their
+                // inner whitespace.
+                let (id_tok, rest) = split_token(rest);
+                let id = parse_u64(id_tok, line_num, "node id")?;
+                if rest.is_empty() {
+                    return Err(GraphError::Parse {
+                        line: line_num,
+                        message: "missing node label".into(),
+                    });
+                }
+                // An explicitly quoted empty label (`""`) is legal; only an
+                // absent token is an error (checked above).
+                let (label, value_part) = split_label(rest).ok_or_else(|| GraphError::Parse {
                     line: line_num,
-                    message: "missing node label".into(),
+                    message: "unterminated quoted node label".into(),
                 })?;
-                let rest: Vec<&str> = parts.collect();
-                let value = parse_value(&rest.join(" "));
+                let value = parse_value(value_part);
                 if id_map.contains_key(&id) {
                     return Err(GraphError::DuplicateNode(id));
                 }
-                let node = builder.add_node(label, value);
+                let node = builder.add_node(&label, value);
                 id_map.insert(id, node);
             }
-            Some("e") => {
-                let src = parse_u64(parts.next(), line_num, "edge source")?;
-                let dst = parse_u64(parts.next(), line_num, "edge destination")?;
+            "e" => {
+                let (src_tok, rest) = split_token(rest);
+                let (dst_tok, _) = split_token(rest);
+                let src = parse_u64(src_tok, line_num, "edge source")?;
+                let dst = parse_u64(dst_tok, line_num, "edge destination")?;
                 pending_edges.push((src, dst, line_num));
             }
-            Some(other) => {
+            other => {
                 return Err(GraphError::Parse {
                     line: line_num,
                     message: format!("unknown record type {other:?}"),
                 });
             }
-            None => {}
         }
     }
 
@@ -87,9 +99,14 @@ pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph> {
 /// Serializes a graph into the text format.
 pub fn write_graph<W: Write>(graph: &Graph, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# bgpq graph: {} nodes, {} edges", graph.node_count(), graph.edge_count())?;
+    writeln!(
+        w,
+        "# bgpq graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
     for v in graph.nodes() {
-        let label = graph.label_name(v);
+        let label = format_label(&graph.label_name(v));
         match graph.value(v) {
             Value::Null => writeln!(w, "n {} {}", v.0, label)?,
             Value::Int(i) => writeln!(w, "n {} {} {}", v.0, label, i)?,
@@ -111,17 +128,59 @@ pub fn save_graph(graph: &Graph, path: impl AsRef<Path>) -> Result<()> {
     write_graph(graph, file)
 }
 
-fn parse_u64(token: Option<&str>, line: usize, what: &str) -> Result<u64> {
-    token
-        .ok_or_else(|| GraphError::Parse {
+/// Splits off the first whitespace-delimited token, returning it and the
+/// rest of the line with leading whitespace removed.
+fn split_token(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+/// Renders a label name for the text format: plain when it is a single
+/// safe token, `{:?}`-quoted when it is empty, starts with a quote, or
+/// contains whitespace.
+fn format_label(name: &str) -> String {
+    if name.is_empty() || name.starts_with('"') || name.chars().any(char::is_whitespace) {
+        format!("{name:?}")
+    } else {
+        name.to_string()
+    }
+}
+
+/// Splits off a label: either a quoted (escaped) string or a plain token.
+/// Returns `None` for an unterminated quoted label.
+fn split_label(s: &str) -> Option<(String, &str)> {
+    let Some(inner) = s.strip_prefix('"') else {
+        let (tok, rest) = split_token(s);
+        return Some((tok.to_string(), rest));
+    };
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => return Some((unescape(&inner[..i]), inner[i + 1..].trim_start())),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_u64(token: &str, line: usize, what: &str) -> Result<u64> {
+    if token.is_empty() {
+        return Err(GraphError::Parse {
             line,
             message: format!("missing {what}"),
-        })?
-        .parse()
-        .map_err(|_| GraphError::Parse {
-            line,
-            message: format!("invalid {what}"),
-        })
+        });
+    }
+    token.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what}"),
+    })
 }
 
 fn parse_value(raw: &str) -> Value {
@@ -130,7 +189,7 @@ fn parse_value(raw: &str) -> Value {
         return Value::Null;
     }
     if raw.starts_with('"') && raw.ends_with('"') && raw.len() >= 2 {
-        return Value::Str(raw[1..raw.len() - 1].to_string());
+        return Value::Str(unescape(&raw[1..raw.len() - 1]));
     }
     if let Ok(i) = raw.parse::<i64>() {
         return Value::Int(i);
@@ -145,6 +204,41 @@ fn parse_value(raw: &str) -> Value {
         return Value::Bool(false);
     }
     Value::Str(raw.to_string())
+}
+
+/// Reverses the escaping the writer's `{:?}` formatting applies to strings
+/// (`\"`, `\\`, `\n`, `\r`, `\t`, `\0`, `\'` and `\u{…}`).
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some('u') => {
+                let mut hex = String::new();
+                for h in chars.by_ref() {
+                    match h {
+                        '{' => {}
+                        '}' => break,
+                        _ => hex.push(h),
+                    }
+                }
+                if let Some(ch) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(ch);
+                }
+            }
+            Some(other) => out.push(other), // covers \" \\ \'
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

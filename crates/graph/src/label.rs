@@ -7,7 +7,6 @@
 //! mapping between label names and [`Label`] ids; every [`crate::Graph`]
 //! carries one.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -15,9 +14,7 @@ use std::fmt;
 ///
 /// `Label` is `Copy` and ordered so that sets of labels (the `S` of an access
 /// constraint `S → (l, N)`) can be kept sorted and compared cheaply.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Label(pub u32);
 
 impl Label {
@@ -45,7 +42,7 @@ impl From<u32> for Label {
 /// Interners are append-only: once a name is registered its id never changes,
 /// which lets graphs, schemas and patterns built against the same interner be
 /// compared and combined safely.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LabelInterner {
     names: Vec<String>,
     by_name: HashMap<String, Label>,

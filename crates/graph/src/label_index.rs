@@ -7,10 +7,9 @@
 
 use crate::graph::NodeId;
 use crate::label::Label;
-use serde::{Deserialize, Serialize};
 
 /// Maps each label to the sorted list of node ids carrying it.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LabelIndex {
     /// `buckets[label.index()]` is the sorted list of nodes with that label.
     buckets: Vec<Vec<NodeId>>,

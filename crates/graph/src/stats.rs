@@ -13,11 +13,10 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::label::Label;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Aggregate statistics of a data graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GraphStats {
     /// Number of nodes per label.
     pub label_counts: HashMap<Label, usize>,

@@ -9,11 +9,10 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A set of nodes and edges of some parent graph.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Subgraph {
     nodes: BTreeSet<NodeId>,
     edges: BTreeSet<(NodeId, NodeId)>,

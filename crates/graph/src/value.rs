@@ -5,7 +5,6 @@
 //! constants using `=, ≠, <, ≤, >, ≥`. [`Value`] is the dynamically typed
 //! value used on both sides of those comparisons.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -14,7 +13,7 @@ use std::fmt;
 /// Values of different types are never considered equal (apart from the
 /// integer/float numeric tower, which compares numerically) and comparisons
 /// across incomparable types return `None` from [`Value::partial_cmp_value`].
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub enum Value {
     /// Absence of a value; the default for nodes without attributes.
     #[default]

@@ -1,0 +1,145 @@
+//! Round-trip guarantees of the text interchange format: parse → serialize →
+//! parse yields an identical graph, and serialization is a fixpoint.
+
+use bgpq_graph::io::{read_graph, write_graph};
+use bgpq_graph::{Graph, GraphBuilder, Value};
+use std::io::Cursor;
+
+/// Structural equality over the public API: same nodes (label name + value),
+/// same adjacency, same label alphabet behaviour.
+fn assert_same_graph(a: &Graph, b: &Graph) {
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.edge_count(), b.edge_count());
+    for v in a.nodes() {
+        assert_eq!(a.label_name(v), b.label_name(v), "label of {v}");
+        assert_eq!(a.value(v), b.value(v), "value of {v}");
+        assert_eq!(a.out_neighbors(v), b.out_neighbors(v), "out of {v}");
+        assert_eq!(a.in_neighbors(v), b.in_neighbors(v), "in of {v}");
+    }
+    assert_eq!(a.distinct_label_count(), b.distinct_label_count());
+}
+
+fn serialize(g: &Graph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_graph(g, &mut buf).unwrap();
+    buf
+}
+
+/// A graph exercising every value type, multi-label nodes, string escapes
+/// and non-trivial adjacency.
+fn sample_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    let m1 = b.add_node("movie", Value::str("Argo"));
+    let m2 = b.add_node("movie", Value::str("with spaces and \"quotes\""));
+    let y = b.add_node("year", Value::Int(2012));
+    let r = b.add_node("rating", Value::Float(7.7));
+    let f = b.add_node("flag", Value::Bool(true));
+    let n = b.add_node("misc", Value::Null);
+    let neg = b.add_node("offset", Value::Int(-42));
+    b.add_edge(y, m1).unwrap();
+    b.add_edge(y, m2).unwrap();
+    b.add_edge(m1, r).unwrap();
+    b.add_edge(m1, f).unwrap();
+    b.add_edge(m2, n).unwrap();
+    b.add_edge(neg, m2).unwrap();
+    b.build()
+}
+
+#[test]
+fn parse_serialize_parse_is_identity() {
+    let g1 = sample_graph();
+    let text1 = serialize(&g1);
+    let g2 = read_graph(Cursor::new(&text1)).unwrap();
+    assert_same_graph(&g1, &g2);
+    // And serialization is a fixpoint: the second dump is byte-identical.
+    let text2 = serialize(&g2);
+    assert_eq!(text1, text2);
+}
+
+#[test]
+fn externally_authored_text_round_trips() {
+    // Non-contiguous ids, comments, blank lines, values of every kind.
+    let text = "\
+# a hand-written graph
+n 100 movie \"Argo\"
+n 7 year 2012
+
+n 3 rating 7.5
+n 4 flag false
+n 5 misc
+e 7 100
+e 100 3
+e 100 4
+e 100 5
+";
+    let g1 = read_graph(Cursor::new(text)).unwrap();
+    assert_eq!(g1.node_count(), 5);
+    assert_eq!(g1.edge_count(), 4);
+    let dump1 = serialize(&g1);
+    let g2 = read_graph(Cursor::new(&dump1)).unwrap();
+    assert_same_graph(&g1, &g2);
+    assert_eq!(dump1, serialize(&g2));
+}
+
+#[test]
+fn labels_with_whitespace_and_quotes_round_trip() {
+    let mut b = GraphBuilder::new();
+    let sf = b.add_node("science fiction", Value::str("Dune"));
+    let q = b.add_node("odd \"label\"", Value::Int(1));
+    let tab = b.add_node("tab\tseparated", Value::Null);
+    b.add_edge(sf, q).unwrap();
+    b.add_edge(q, tab).unwrap();
+    let g1 = b.build();
+    let text1 = serialize(&g1);
+    let g2 = read_graph(Cursor::new(&text1)).unwrap();
+    assert_same_graph(&g1, &g2);
+    assert_eq!(g2.label_name(sf), "science fiction");
+    assert_eq!(g2.value(sf), &Value::str("Dune"));
+    assert_eq!(g2.label_name(q), "odd \"label\"");
+    assert_eq!(g2.label_name(tab), "tab\tseparated");
+    assert_eq!(text1, serialize(&g2));
+}
+
+#[test]
+fn unterminated_quoted_label_is_a_parse_error() {
+    let err = read_graph(Cursor::new("n 0 \"broken label 1\n")).unwrap_err();
+    assert!(err.to_string().contains("unterminated"), "{err}");
+}
+
+#[test]
+fn empty_label_round_trips_as_quoted_token() {
+    let mut b = GraphBuilder::new();
+    let v = b.add_node("", Value::Int(1));
+    let g1 = b.build();
+    let text = serialize(&g1);
+    assert!(std::str::from_utf8(&text).unwrap().contains("n 0 \"\" 1"));
+    let g2 = read_graph(Cursor::new(&text)).unwrap();
+    assert_same_graph(&g1, &g2);
+    assert_eq!(g2.label_name(v), "");
+    // A truly missing label is still rejected.
+    let err = read_graph(Cursor::new("n 0\n")).unwrap_err();
+    assert!(err.to_string().contains("missing node label"), "{err}");
+}
+
+#[test]
+fn empty_graph_round_trips() {
+    let g = Graph::empty();
+    let dump = serialize(&g);
+    let g2 = read_graph(Cursor::new(&dump)).unwrap();
+    assert_same_graph(&g, &g2);
+}
+
+#[test]
+fn large_generated_graph_round_trips() {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<_> = (0..500)
+        .map(|i| b.add_node(&format!("l{}", i % 13), Value::Int(i)))
+        .collect();
+    for i in 0..ids.len() {
+        b.add_edge(ids[i], ids[(i * 7 + 3) % ids.len()]).unwrap();
+        b.add_edge(ids[i], ids[(i * 11 + 5) % ids.len()]).unwrap();
+    }
+    let g1 = b.build();
+    let g2 = read_graph(Cursor::new(serialize(&g1))).unwrap();
+    assert_same_graph(&g1, &g2);
+}

@@ -11,12 +11,21 @@
 //!   after Henzinger, Henzinger & Kopke);
 //! * [`opt_simulation`] — `optgsim`: simulation seeded from index-restricted
 //!   candidate sets;
+//! * [`seed`] — the index-seeded candidate computation shared by the two
+//!   optimized baselines (and semantics-aware: isomorphism may narrow
+//!   through any pattern neighbor, simulation only through children);
 //! * [`result`] — the match/relation types shared with the bounded
 //!   executors of `bgpq-core`.
 //!
 //! The bounded evaluation of the paper (`bVF2`, `bSim`) lives in
-//! `bgpq-core::exec`; it reuses these algorithms, but runs them on the small
-//! fetched fragment `G_Q` instead of `G`.
+//! `bgpq_core::exec` — [`bounded_subgraph_match`] and
+//! [`bounded_simulation_match`] there plan a fetch over the access indices
+//! (`bgpq_core::plan`), materialize the bounded fragment `G_Q`
+//! (`bgpq_core::fetch`), and reuse these matchers on the fragment instead of
+//! `G`.
+//!
+//! [`bounded_subgraph_match`]: https://docs.rs/bgpq-core
+//! [`bounded_simulation_match`]: https://docs.rs/bgpq-core
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,11 +33,13 @@
 pub mod opt_simulation;
 pub mod opt_vf2;
 pub mod result;
+pub mod seed;
 pub mod simulation;
 pub mod vf2;
 
 pub use opt_simulation::opt_simulation_match;
-pub use opt_vf2::opt_subgraph_match;
+pub use opt_vf2::{opt_subgraph_match, opt_subgraph_match_with_config};
 pub use result::{Match, MatchSet, SimulationRelation};
+pub use seed::{seeded_candidates, SeedSemantics};
 pub use simulation::{simulation_match, SimulationMatcher};
-pub use vf2::{SubgraphMatcher, Vf2Config};
+pub use vf2::{SubgraphMatcher, Vf2Config, Vf2Stats};

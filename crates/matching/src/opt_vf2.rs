@@ -1,0 +1,119 @@
+//! `optVF2`: subgraph-isomorphism matching seeded by access-constraint
+//! indices.
+//!
+//! The paper's optimized baseline runs the same backtracking search as `VF2`
+//! but first narrows each pattern node's candidate set with the indices of an
+//! access schema (see [`crate::seed`]). Because the candidate sets are sound
+//! supersets of every match image, the answer is identical to
+//! [`crate::vf2`] — only faster. The bounded executor `bVF2`
+//! (`bgpq_core::exec::bounded_subgraph_match`) goes one step further and
+//! runs the search on the fetched fragment `G_Q` instead of `G`.
+
+use crate::result::MatchSet;
+use crate::seed::{seeded_candidates, SeedSemantics};
+use crate::vf2::{SubgraphMatcher, Vf2Config};
+use bgpq_access::AccessIndexSet;
+use bgpq_graph::Graph;
+use bgpq_pattern::Pattern;
+
+/// Enumerates all subgraph-isomorphism matches of `pattern` in `graph`,
+/// seeding the search with candidate sets narrowed by `indices`.
+///
+/// Equivalent to `SubgraphMatcher::new(pattern, graph).find_all()` whenever
+/// `graph` satisfies the schema behind `indices`.
+pub fn opt_subgraph_match(pattern: &Pattern, graph: &Graph, indices: &AccessIndexSet) -> MatchSet {
+    opt_subgraph_match_with_config(pattern, graph, indices, Vf2Config::default()).0
+}
+
+/// [`opt_subgraph_match`] with explicit [`Vf2Config`] knobs, also returning
+/// the search statistics.
+pub fn opt_subgraph_match_with_config(
+    pattern: &Pattern,
+    graph: &Graph,
+    indices: &AccessIndexSet,
+    config: Vf2Config,
+) -> (MatchSet, crate::vf2::Vf2Stats) {
+    let candidates = seeded_candidates(pattern, graph, indices, SeedSemantics::Isomorphism);
+    SubgraphMatcher::new(pattern, graph)
+        .with_candidates(candidates)
+        .with_config(config)
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq_access::{AccessConstraint, AccessSchema};
+    use bgpq_graph::{GraphBuilder, Value};
+    use bgpq_pattern::{PatternBuilder, Predicate};
+
+    fn movie_graph(k: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..k as i64 {
+            let m = b.add_node("movie", Value::Int(2000 + i));
+            let a = b.add_node("actor", Value::Int(i));
+            let s = b.add_node("actress", Value::Int(i));
+            b.add_edge(m, a).unwrap();
+            b.add_edge(m, s).unwrap();
+        }
+        b.build()
+    }
+
+    fn star_pattern(graph: &Graph) -> Pattern {
+        let mut b = PatternBuilder::with_interner(graph.interner().clone());
+        let m = b.node("movie", Predicate::always());
+        let a = b.node("actor", Predicate::always());
+        let s = b.node("actress", Predicate::always());
+        b.edge(m, a);
+        b.edge(m, s);
+        b.build()
+    }
+
+    fn full_schema(graph: &Graph) -> AccessSchema {
+        let movie = graph.interner().get("movie").unwrap();
+        let actor = graph.interner().get("actor").unwrap();
+        let actress = graph.interner().get("actress").unwrap();
+        AccessSchema::from_constraints([
+            AccessConstraint::global(movie, 100),
+            AccessConstraint::unary(movie, actor, 1),
+            AccessConstraint::unary(movie, actress, 1),
+        ])
+    }
+
+    #[test]
+    fn matches_equal_plain_vf2() {
+        let g = movie_graph(5);
+        let q = star_pattern(&g);
+        let indices = AccessIndexSet::build(&g, &full_schema(&g));
+        let plain = SubgraphMatcher::new(&q, &g).find_all();
+        let opt = opt_subgraph_match(&q, &g, &indices);
+        assert_eq!(plain, opt);
+        assert_eq!(opt.len(), 5);
+    }
+
+    #[test]
+    fn seeding_prunes_the_search() {
+        let g = movie_graph(20);
+        let q = star_pattern(&g);
+        let indices = AccessIndexSet::build(&g, &full_schema(&g));
+        let (_, plain_stats) = SubgraphMatcher::new(&q, &g).run();
+        let (opt_set, opt_stats) =
+            opt_subgraph_match_with_config(&q, &g, &indices, Vf2Config::default());
+        assert_eq!(opt_set.len(), 20);
+        assert!(
+            opt_stats.steps <= plain_stats.steps,
+            "seeded search must not expand more nodes ({} vs {})",
+            opt_stats.steps,
+            plain_stats.steps
+        );
+    }
+
+    #[test]
+    fn empty_schema_degenerates_to_plain_vf2() {
+        let g = movie_graph(3);
+        let q = star_pattern(&g);
+        let indices = AccessIndexSet::build(&g, &AccessSchema::new());
+        let plain = SubgraphMatcher::new(&q, &g).find_all();
+        assert_eq!(plain, opt_subgraph_match(&q, &g, &indices));
+    }
+}

@@ -2,13 +2,12 @@
 
 use bgpq_graph::NodeId;
 use bgpq_pattern::{Pattern, PatternNodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A single subgraph-isomorphism match: an injective assignment of a data
 /// node to every pattern node.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Match {
     /// `assignment[u.index()]` is the data node matched to pattern node `u`.
     assignment: Vec<NodeId>,
@@ -68,7 +67,7 @@ impl fmt::Display for Match {
 }
 
 /// The answer set of a subgraph query: all matches, deduplicated and sorted.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MatchSet {
     matches: Vec<Match>,
 }
@@ -115,7 +114,7 @@ impl FromIterator<Match> for MatchSet {
 /// Per the paper (and Henzinger-Henzinger-Kopke), the maximum match relation
 /// is unique and possibly empty; it is non-empty only when **every** pattern
 /// node has at least one simulating data node.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimulationRelation {
     /// `relation[u.index()]` = sorted data nodes simulating pattern node `u`.
     relation: Vec<Vec<NodeId>>,
@@ -177,17 +176,15 @@ impl SimulationRelation {
 
     /// True when every pattern node of `pattern` has at least one match.
     pub fn is_total_for(&self, pattern: &Pattern) -> bool {
-        pattern.node_count() == self.relation.len()
-            && self.relation.iter().all(|v| !v.is_empty())
+        pattern.node_count() == self.relation.len() && self.relation.iter().all(|v| !v.is_empty())
     }
 
     /// Iterates over all `(u, v)` pairs.
     pub fn pairs(&self) -> impl Iterator<Item = (PatternNodeId, NodeId)> + '_ {
-        self.relation.iter().enumerate().flat_map(|(i, nodes)| {
-            nodes
-                .iter()
-                .map(move |&v| (PatternNodeId(i as u32), v))
-        })
+        self.relation
+            .iter()
+            .enumerate()
+            .flat_map(|(i, nodes)| nodes.iter().map(move |&v| (PatternNodeId(i as u32), v)))
     }
 
     /// Remaps every data node id through `f` (fragment → parent translation).

@@ -215,8 +215,11 @@ impl SearchState<'_, '_> {
         self.stats.steps += 1;
 
         if depth == self.order.len() {
-            let assignment: Vec<NodeId> =
-                self.assignment.iter().map(|v| v.expect("complete")).collect();
+            let assignment: Vec<NodeId> = self
+                .assignment
+                .iter()
+                .map(|v| v.expect("complete"))
+                .collect();
             self.results.push(Match::new(assignment));
             return;
         }
@@ -439,16 +442,15 @@ mod tests {
         let movie_nodes = g.nodes_with_label(g.interner().get("movie").unwrap());
         let actors = g.nodes_with_label(g.interner().get("actor").unwrap());
         let actresses = g.nodes_with_label(g.interner().get("actress").unwrap());
-        let candidates = vec![
-            vec![movie_nodes[0]],
-            actors.to_vec(),
-            actresses.to_vec(),
-        ];
+        let candidates = vec![vec![movie_nodes[0]], actors.to_vec(), actresses.to_vec()];
         let matches = SubgraphMatcher::new(&q, &g)
             .with_candidates(candidates)
             .find_all();
         assert_eq!(matches.len(), 1);
-        assert_eq!(matches.matches()[0].node_for(PatternNodeId(0)), movie_nodes[0]);
+        assert_eq!(
+            matches.matches()[0].node_for(PatternNodeId(0)),
+            movie_nodes[0]
+        );
     }
 
     #[test]

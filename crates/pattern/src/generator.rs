@@ -19,10 +19,8 @@
 use crate::builder::PatternBuilder;
 use crate::pattern::{Pattern, PatternNodeId};
 use crate::predicate::{Atom, Op, Predicate};
+use crate::rng::DetRng;
 use bgpq_graph::{Graph, NodeId, Value};
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the workload generator.
 #[derive(Debug, Clone)]
@@ -77,13 +75,13 @@ impl GeneratorConfig {
 #[derive(Debug)]
 pub struct WorkloadGenerator {
     config: GeneratorConfig,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl WorkloadGenerator {
     /// Creates a generator from a configuration.
     pub fn new(config: GeneratorConfig) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = DetRng::seed_from_u64(config.seed);
         WorkloadGenerator { config, rng }
     }
 
@@ -124,7 +122,7 @@ impl WorkloadGenerator {
             let label = if labels.is_empty() {
                 builder.interner().get("node").unwrap_or_default()
             } else {
-                *labels.choose(&mut self.rng).expect("non-empty")
+                *self.rng.choose(&labels).expect("non-empty")
             };
             ids.push(builder.node_labeled(label, Predicate::always()));
         }
@@ -212,7 +210,7 @@ impl WorkloadGenerator {
     /// Random-walk / BFS hybrid sampling of a weakly connected fragment of
     /// `graph` with up to `n` nodes.
     fn sample_connected_fragment(&mut self, graph: &Graph, n: usize) -> Vec<NodeId> {
-        let start = NodeId(self.rng.random_range(0..graph.node_count() as u32));
+        let start = NodeId(self.rng.random_range(0..graph.node_count()) as u32);
         let mut fragment = vec![start];
         let mut frontier = graph.neighbors(start);
         while fragment.len() < n && !frontier.is_empty() {
@@ -256,7 +254,7 @@ impl WorkloadGenerator {
                 Some(nodes) if i < nodes.len() => graph.value(nodes[i]).clone(),
                 _ => {
                     let candidates = graph.nodes_with_label(pattern.label(u));
-                    match candidates.choose(&mut self.rng) {
+                    match self.rng.choose(candidates) {
                         Some(&v) => graph.value(v).clone(),
                         None => Value::Null,
                     }
@@ -284,7 +282,7 @@ impl WorkloadGenerator {
     /// Builds a random atom around `value`. When `must_hold` is true the atom
     /// is guaranteed to evaluate to true on `value`.
     fn make_atom(&mut self, value: Value, must_hold: bool) -> Atom {
-        let op = *Op::ALL.choose(&mut self.rng).expect("non-empty");
+        let op = *self.rng.choose(&Op::ALL).expect("non-empty");
         if !must_hold {
             return Atom::new(op, value);
         }

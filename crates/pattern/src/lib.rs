@@ -25,8 +25,10 @@ pub mod builder;
 pub mod generator;
 pub mod pattern;
 pub mod predicate;
+pub mod rng;
 
 pub use builder::PatternBuilder;
 pub use generator::{GeneratorConfig, WorkloadGenerator};
 pub use pattern::{Pattern, PatternNodeId};
 pub use predicate::{Atom, Op, Predicate};
+pub use rng::DetRng;

@@ -2,14 +2,11 @@
 
 use crate::predicate::Predicate;
 use bgpq_graph::{Label, LabelInterner};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifier of a pattern node, contiguous from `0`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PatternNodeId(pub u32);
 
 impl PatternNodeId {
@@ -33,7 +30,7 @@ impl From<u32> for PatternNodeId {
 }
 
 /// A single pattern node: a label plus a predicate on the attribute value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct PatternNodeData {
     pub(crate) label: Label,
     pub(crate) predicate: Predicate,
@@ -45,7 +42,7 @@ pub(crate) struct PatternNodeData {
 /// Patterns are immutable once built (see [`crate::PatternBuilder`]) and
 /// carry a copy of the label interner they were built against so that labels
 /// can be rendered by name in diagnostics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Pattern {
     pub(crate) interner: LabelInterner,
     pub(crate) nodes: Vec<PatternNodeData>,
@@ -165,9 +162,7 @@ impl Pattern {
 
     /// Pattern nodes carrying `label`.
     pub fn nodes_with_label(&self, label: Label) -> Vec<PatternNodeId> {
-        self.nodes()
-            .filter(|&u| self.label(u) == label)
-            .collect()
+        self.nodes().filter(|&u| self.label(u) == label).collect()
     }
 
     /// True when the pattern is weakly connected (ignoring edge direction).

@@ -6,12 +6,11 @@
 //! attribute value for `f_Q(u)` in every atom.
 
 use bgpq_graph::Value;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// Comparison operator of an atomic predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Equality `=`.
     Eq,
@@ -59,7 +58,7 @@ impl fmt::Display for Op {
 }
 
 /// A single comparison `value op constant`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Atom {
     /// The comparison operator.
     pub op: Op,
@@ -95,7 +94,7 @@ impl fmt::Display for Atom {
 }
 
 /// A conjunction of [`Atom`]s; the empty conjunction is `true`.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Predicate {
     atoms: Vec<Atom>,
 }
@@ -221,7 +220,9 @@ mod tests {
 
     #[test]
     fn conjunction_requires_all_atoms() {
-        let p = Predicate::single(Op::Ge, 10).and(Op::Ne, 15).and(Op::Le, 20);
+        let p = Predicate::single(Op::Ge, 10)
+            .and(Op::Ne, 15)
+            .and(Op::Le, 20);
         assert!(p.eval(&Value::Int(12)));
         assert!(!p.eval(&Value::Int(15)));
         assert!(!p.eval(&Value::Int(25)));

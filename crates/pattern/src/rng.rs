@@ -1,0 +1,142 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workload generator only needs reproducible sampling — pick a number in
+//! a range, flip a biased coin, choose a slice element — and the workspace is
+//! built without external dependencies, so this module provides a
+//! self-contained [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//! generator instead of pulling in the `rand` crate. Streams are fully
+//! determined by the seed and stable across platforms, which the equivalence
+//! test suites rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A usize range with inclusive bounds, accepted by [`DetRng::random_range`].
+///
+/// Implemented for `lo..hi` (half-open) and `lo..=hi` (inclusive) so call
+/// sites read like the `rand` crate's API.
+pub trait UsizeRange {
+    /// The `(lo, hi)` inclusive bounds of the range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn inclusive_bounds(self) -> (usize, usize);
+}
+
+impl UsizeRange for Range<usize> {
+    fn inclusive_bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl UsizeRange for RangeInclusive<usize> {
+    fn inclusive_bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Deterministic SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator whose entire stream is determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// The next 64 raw pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform-ish draw from `range` (modulo reduction; the tiny bias is
+    /// irrelevant for workload generation).
+    pub fn random_range<R: UsizeRange>(&mut self, range: R) -> usize {
+        let (lo, hi) = range.inclusive_bounds();
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// A coin flip that is true with probability `p`.
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        // 53 high-quality bits → a float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` when it is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.random_range(0..slice.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(99);
+        let mut b = DetRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = DetRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3..10);
+            assert!((3..10).contains(&x));
+            let y = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+            let z = rng.random_range(0..=4);
+            assert!(z <= 4);
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = DetRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let items = [10, 20, 30];
+        let empty: [i32; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = rng.choose(&items).unwrap();
+            seen[(x / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

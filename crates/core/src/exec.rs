@@ -5,7 +5,7 @@
 //!
 //! 1. build a [`QueryPlan`] (or fail with [`PlanError`] when `Q` is not
 //!    effectively bounded under `A` for the requested semantics);
-//! 2. [`execute_plan`](crate::fetch::execute_plan) it, fetching the bounded
+//! 2. [`execute_plan`] it, fetching the bounded
 //!    fragment `G_Q` through index lookups only;
 //! 3. materialize `G_Q` as a standalone graph and run the corresponding
 //!    `bgpq-matching` algorithm on it, seeded with the fetched candidate
@@ -21,7 +21,9 @@ use crate::fetch::{execute_plan, FetchStats};
 use crate::plan::{plan_query_filtered, PlanError, QueryPlan, Semantics};
 use bgpq_access::AccessIndexSet;
 use bgpq_graph::{Graph, NodeId};
-use bgpq_matching::{MatchSet, SimulationMatcher, SimulationRelation, SubgraphMatcher};
+use bgpq_matching::{
+    MatchSet, SimulationMatcher, SimulationRelation, SubgraphMatcher, Vf2Config, Vf2Stats,
+};
 use bgpq_pattern::Pattern;
 
 /// The outcome of one bounded evaluation.
@@ -46,23 +48,60 @@ pub fn bounded_subgraph_match(
     graph: &Graph,
     indices: &AccessIndexSet,
 ) -> Result<BoundedRun<MatchSet>, PlanError> {
-    let plan = plan_with_sound_indices(pattern, indices, Semantics::Isomorphism)?;
-    let fetched = execute_plan(&plan, pattern, graph, indices);
+    let plan = plan_for_indices(pattern, indices, Semantics::Isomorphism)?;
+    let (result, fetch, _) =
+        bounded_subgraph_match_planned(&plan, pattern, graph, indices, Vf2Config::default());
+    Ok(BoundedRun {
+        result,
+        plan,
+        fetch,
+    })
+}
+
+/// `bVF2` with a precomputed plan and explicit matcher knobs.
+///
+/// Session layers (the plan cache of `bgpq-engine`) plan once per distinct
+/// pattern and replay the plan here on every request, so the planner's
+/// closure computation is off the per-query hot path. Also returns the
+/// fragment-side search statistics, letting callers enforce step budgets.
+///
+/// `plan` must have been produced for this `pattern` against the schema
+/// behind `indices` (e.g. by [`plan_for_indices`]); a plan from a
+/// *different* schema whose constraint ids happen to exist in `indices`
+/// fetches through the wrong indices and corrupts the answer undetected.
+///
+/// The plan is only borrowed — the per-query hot path allocates nothing
+/// plan-shaped; callers that want a [`BoundedRun`] assemble it from the
+/// returned parts and the plan they own.
+///
+/// # Panics
+/// Panics if `plan` was built for [`Semantics::Simulation`], or if it
+/// references a constraint id absent from `indices`.
+pub fn bounded_subgraph_match_planned(
+    plan: &QueryPlan,
+    pattern: &Pattern,
+    graph: &Graph,
+    indices: &AccessIndexSet,
+    config: Vf2Config,
+) -> (MatchSet, FetchStats, Vf2Stats) {
+    assert_eq!(
+        plan.semantics,
+        Semantics::Isomorphism,
+        "bVF2 requires an isomorphism plan"
+    );
+    let fetched = execute_plan(plan, pattern, graph, indices);
     let m = fetched.fragment.materialize(graph);
     let local_candidates = to_local(&fetched.candidates, &m.to_parent);
-    let local_matches = SubgraphMatcher::new(pattern, &m.graph)
+    let (local_matches, stats) = SubgraphMatcher::new(pattern, &m.graph)
         .with_candidates(local_candidates)
-        .find_all();
+        .with_config(config)
+        .run();
     let result = MatchSet::new(
         local_matches
             .iter()
             .map(|mat| mat.map_nodes(|v| m.parent_node(v))),
     );
-    Ok(BoundedRun {
-        result,
-        plan,
-        fetch: fetched.stats,
-    })
+    (result, fetched.stats, stats)
 }
 
 /// `bSim`: bounded graph-simulation matching.
@@ -76,26 +115,50 @@ pub fn bounded_simulation_match(
     graph: &Graph,
     indices: &AccessIndexSet,
 ) -> Result<BoundedRun<SimulationRelation>, PlanError> {
-    let plan = plan_with_sound_indices(pattern, indices, Semantics::Simulation)?;
-    let fetched = execute_plan(&plan, pattern, graph, indices);
+    let plan = plan_for_indices(pattern, indices, Semantics::Simulation)?;
+    let (result, fetch) = bounded_simulation_match_planned(&plan, pattern, graph, indices);
+    Ok(BoundedRun {
+        result,
+        plan,
+        fetch,
+    })
+}
+
+/// `bSim` with a precomputed plan, the simulation counterpart of
+/// [`bounded_subgraph_match_planned`] — the same plan/schema contract
+/// applies, and the plan is likewise only borrowed.
+///
+/// # Panics
+/// Panics if `plan` was built for [`Semantics::Isomorphism`], or if it
+/// references a constraint id absent from `indices`.
+pub fn bounded_simulation_match_planned(
+    plan: &QueryPlan,
+    pattern: &Pattern,
+    graph: &Graph,
+    indices: &AccessIndexSet,
+) -> (SimulationRelation, FetchStats) {
+    assert_eq!(
+        plan.semantics,
+        Semantics::Simulation,
+        "bSim requires a simulation plan"
+    );
+    let fetched = execute_plan(plan, pattern, graph, indices);
     let m = fetched.fragment.materialize(graph);
     let local_candidates = to_local(&fetched.candidates, &m.to_parent);
     let local_relation = SimulationMatcher::new(pattern, &m.graph)
         .with_candidates(local_candidates)
         .run();
-    let result = local_relation.map_nodes(|v| m.parent_node(v));
-    Ok(BoundedRun {
-        result,
-        plan,
-        fetch: fetched.stats,
-    })
+    (
+        local_relation.map_nodes(|v| m.parent_node(v)),
+        fetched.stats,
+    )
 }
 
 /// Plans over the schema behind `indices`, excluding constraints whose
 /// index dropped entries when the per-node combination cap was hit: a
 /// lookup against such an index can report "empty" for a set that does have
 /// common neighbors, which would silently lose matches.
-fn plan_with_sound_indices(
+pub fn plan_for_indices(
     pattern: &Pattern,
     indices: &AccessIndexSet,
     semantics: Semantics,

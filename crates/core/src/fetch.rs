@@ -27,6 +27,10 @@ pub struct FetchStats {
     pub index_lookups: u64,
     /// Total nodes returned by lookups, before deduplication/filtering.
     pub nodes_returned: u64,
+    /// Distinct fetched nodes dropped because the pattern node's predicate
+    /// rejected them — a measure of how selective the query's predicates are
+    /// relative to the schema's constraints.
+    pub predicate_filtered: u64,
     /// Nodes in the fetched fragment `|V(G_Q)|`.
     pub fragment_nodes: usize,
     /// Edges in the fetched fragment `|E(G_Q)|`.
@@ -89,7 +93,9 @@ pub fn execute_plan(
         stats.nodes_returned += fetched.len() as u64;
         fetched.sort_unstable();
         fetched.dedup();
+        let before_filter = fetched.len();
         fetched.retain(|&v| pattern.predicate(step.node).eval(graph.value(v)));
+        stats.predicate_filtered += (before_filter - fetched.len()) as u64;
         candidates[step.node.index()] = fetched;
     }
 

@@ -32,6 +32,9 @@ pub mod exec;
 pub mod fetch;
 pub mod plan;
 
-pub use exec::{bounded_simulation_match, bounded_subgraph_match, BoundedRun};
+pub use exec::{
+    bounded_simulation_match, bounded_simulation_match_planned, bounded_subgraph_match,
+    bounded_subgraph_match_planned, plan_for_indices, BoundedRun,
+};
 pub use fetch::{execute_plan, FetchResult, FetchStats};
 pub use plan::{plan_query, plan_query_filtered, FetchStep, PlanError, QueryPlan, Semantics};

@@ -1,0 +1,276 @@
+//! Dependency-free benchmark: `VF2` vs `optVF2` vs `bVF2` through the engine.
+//!
+//! Builds a deterministic IMDb-shaped graph, an access schema that makes the
+//! query family effectively bounded, and times the three evaluation tiers on
+//! a repeated workload — repeats exercise the engine's plan cache. Results
+//! are written as JSON (default `BENCH_engine.json`), seeding the
+//! workspace's performance trajectory.
+//!
+//! ```sh
+//! cargo run --release -p bgpq-engine --bin bench            # full run
+//! cargo run --release -p bgpq-engine --bin bench -- --smoke # CI smoke run
+//! ```
+
+use bgpq_engine::{
+    opt_subgraph_match, AccessConstraint, AccessSchema, Engine, Graph, GraphBuilder, QueryRequest,
+    StrategyKind, SubgraphMatcher,
+};
+use bgpq_graph::Value;
+use bgpq_pattern::{Pattern, PatternBuilder, Predicate};
+use std::time::Instant;
+
+/// Benchmark parameters, overridable from the command line.
+struct BenchConfig {
+    /// Number of movie stars in the generated graph.
+    movies: usize,
+    /// Distinct queries in the workload (distinct year predicates).
+    queries: usize,
+    /// How many times the whole workload repeats (cache-hit rounds).
+    rounds: usize,
+    /// Output path for the JSON report.
+    out: String,
+}
+
+impl BenchConfig {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        // --smoke only swaps the defaults; explicit flags always win,
+        // regardless of the order they appear in.
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let mut config = if smoke {
+            BenchConfig {
+                movies: 300,
+                queries: 5,
+                rounds: 2,
+                out: "BENCH_engine.json".to_string(),
+            }
+        } else {
+            BenchConfig {
+                movies: 3000,
+                queries: 10,
+                rounds: 3,
+                out: "BENCH_engine.json".to_string(),
+            }
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} expects a value"))
+            };
+            match arg.as_str() {
+                "--smoke" => {}
+                "--movies" => config.movies = parse_num(&value_for("--movies")?)?,
+                "--queries" => config.queries = parse_num(&value_for("--queries")?)?,
+                "--rounds" => config.rounds = parse_num(&value_for("--rounds")?)?,
+                "--out" => config.out = value_for("--out")?,
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        if config.queries == 0 || config.rounds == 0 {
+            return Err("--queries and --rounds must be positive".into());
+        }
+        Ok(config)
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s:?}"))
+}
+
+/// A scaled version of the paper's running example: `movies` movie stars,
+/// each linked from a (year, award) pair and to actors, plus noise nodes
+/// bounded evaluation must never touch.
+fn build_graph(movies: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    let years: Vec<_> = (0..20)
+        .map(|i| b.add_node("year", Value::Int(2000 + i)))
+        .collect();
+    let awards: Vec<_> = (0..5)
+        .map(|i| b.add_node("award", Value::str(format!("award{i}"))))
+        .collect();
+    let countries: Vec<_> = (0..10)
+        .map(|i| b.add_node("country", Value::str(format!("c{i}"))))
+        .collect();
+    for i in 0..movies {
+        let m = b.add_node("movie", Value::Int(i as i64));
+        b.add_edge(years[i % years.len()], m).unwrap();
+        b.add_edge(awards[i % awards.len()], m).unwrap();
+        for j in 0..3 {
+            let a = b.add_node("actor", Value::Int((10 * i + j) as i64));
+            b.add_edge(m, a).unwrap();
+            b.add_edge(a, countries[(i + j) % countries.len()]).unwrap();
+        }
+    }
+    // Unrelated noise: visible to whole-graph scans, invisible to the fetch.
+    for i in 0..movies {
+        b.add_node("noise", Value::Int(i as i64));
+    }
+    b.build()
+}
+
+/// The access schema the generator satisfies by construction.
+fn build_schema(graph: &Graph, movies: usize) -> AccessSchema {
+    let l = |name: &str| graph.interner().get(name).unwrap();
+    let per_pair = movies / 20 + 1;
+    AccessSchema::from_constraints([
+        AccessConstraint::global(l("year"), 20),
+        AccessConstraint::global(l("award"), 5),
+        AccessConstraint::new([l("year"), l("award")], l("movie"), per_pair),
+        AccessConstraint::unary(l("movie"), l("actor"), 3),
+        AccessConstraint::unary(l("actor"), l("country"), 1),
+    ])
+}
+
+/// The query family: award-winning movies of a given year, with their
+/// actors and the actors' countries. Distinct years give distinct patterns
+/// (distinct fingerprints); repeating a year exercises the plan cache.
+fn build_query(graph: &Graph, year: i64) -> Pattern {
+    let mut pb = PatternBuilder::with_interner(graph.interner().clone());
+    let m = pb.node("movie", Predicate::always());
+    let y = pb.node("year", Predicate::single(bgpq_pattern::Op::Eq, year));
+    let a = pb.node("award", Predicate::always());
+    let act = pb.node("actor", Predicate::always());
+    let c = pb.node("country", Predicate::always());
+    pb.edge(y, m);
+    pb.edge(a, m);
+    pb.edge(m, act);
+    pb.edge(act, c);
+    pb.build()
+}
+
+#[derive(Default)]
+struct Timing {
+    total_nanos: u128,
+    runs: u64,
+    answers: u64,
+}
+
+impl Timing {
+    fn record(&mut self, nanos: u128, answers: usize) {
+        self.total_nanos += nanos;
+        self.runs += 1;
+        self.answers += answers as u64;
+    }
+
+    fn avg_micros(&self) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        self.total_nanos as f64 / self.runs as f64 / 1_000.0
+    }
+}
+
+fn json_entry(name: &str, t: &Timing) -> String {
+    format!(
+        "    \"{}\": {{\"runs\": {}, \"total_ms\": {:.3}, \"avg_us\": {:.1}, \"answers\": {}}}",
+        name,
+        t.runs,
+        t.total_nanos as f64 / 1_000_000.0,
+        t.avg_micros(),
+        t.answers
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match BenchConfig::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            eprintln!(
+                "usage: bench [--smoke] [--movies N] [--queries K] [--rounds R] [--out PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let build_start = Instant::now();
+    let graph = build_graph(config.movies);
+    let schema = build_schema(&graph, config.movies);
+    let engine = Engine::new(graph, &schema);
+    let build_ms = build_start.elapsed().as_millis();
+    println!(
+        "graph: {} nodes, {} edges; indices built in {build_ms} ms",
+        engine.graph().node_count(),
+        engine.graph().edge_count()
+    );
+
+    let queries: Vec<Pattern> = (0..config.queries)
+        .map(|i| build_query(engine.graph(), 2000 + (i % 20) as i64))
+        .collect();
+
+    let mut vf2 = Timing::default();
+    let mut opt = Timing::default();
+    let mut bounded = Timing::default();
+    let mut fragment_nodes = 0u64;
+
+    for round in 0..config.rounds {
+        for q in &queries {
+            let t = Instant::now();
+            let plain = SubgraphMatcher::new(q, engine.graph()).find_all();
+            vf2.record(t.elapsed().as_nanos(), plain.len());
+
+            let t = Instant::now();
+            let seeded = opt_subgraph_match(q, engine.graph(), engine.indices());
+            opt.record(t.elapsed().as_nanos(), seeded.len());
+
+            let t = Instant::now();
+            let response = engine
+                .execute(
+                    &QueryRequest::build(q.clone())
+                        .strategy(StrategyKind::Bounded)
+                        .finish(),
+                )
+                .expect("bench queries are bounded by construction");
+            bounded.record(t.elapsed().as_nanos(), response.answer.len());
+
+            if let Some(fetch) = &response.stats.fetch {
+                fragment_nodes += fetch.fragment_nodes as u64;
+            }
+            assert_eq!(plain, seeded, "optVF2 diverged from VF2");
+            assert_eq!(
+                Some(&plain),
+                response.answer.as_matches(),
+                "bVF2 diverged from VF2"
+            );
+        }
+        println!(
+            "round {}: plan cache {} hits / {} misses",
+            round + 1,
+            engine.stats().plan_cache_hits,
+            engine.stats().plan_cache_misses
+        );
+    }
+
+    let stats = engine.stats();
+    let graph_nodes = engine.graph().node_count() as f64;
+    let avg_fragment = fragment_nodes as f64 / bounded.runs.max(1) as f64;
+    let report = format!
+(
+        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
+        config.movies,
+        config.queries,
+        config.rounds,
+        engine.graph().node_count(),
+        engine.graph().edge_count(),
+        json_entry("vf2", &vf2),
+        json_entry("optvf2", &opt),
+        json_entry("bvf2_engine", &bounded),
+        avg_fragment,
+        avg_fragment / graph_nodes,
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+        stats.plan_cache_evictions,
+        vf2.avg_micros() / bounded.avg_micros().max(0.001),
+        opt.avg_micros() / bounded.avg_micros().max(0.001),
+    );
+    std::fs::write(&config.out, &report).expect("write bench report");
+    println!(
+        "vf2 {:.1} us | optvf2 {:.1} us | bvf2(engine) {:.1} us per query; report -> {}",
+        vf2.avg_micros(),
+        opt.avg_micros(),
+        bounded.avg_micros(),
+        config.out
+    );
+}

@@ -1,0 +1,234 @@
+//! The LRU plan cache.
+//!
+//! Planning — the effective-boundedness closure of
+//! [`bgpq_core::plan_query`] — is cheap next to matching, but a
+//! session-oriented engine sees the *same* patterns over and over (dashboard
+//! queries, templated lookups), and the planner's outcome for a pattern
+//! never changes while the schema is fixed. [`PlanCache`] memoizes it, keyed
+//! by the canonical [`PatternFingerprint`](bgpq_pattern::PatternFingerprint)
+//! plus the [`Semantics`]: the second identical request skips the closure
+//! entirely, and *negative* outcomes (the pattern is unbounded) are cached
+//! too, so repeated unbounded queries skip straight to their fallback
+//! strategy.
+//!
+//! Eviction is least-recently-used over a bounded number of entries. The
+//! implementation keeps a logical clock per entry and evicts the smallest
+//! stamp — `O(capacity)` per eviction, which for the intended capacities
+//! (tens to a few thousand plans, each a handful of steps) is noise
+//! compared to one avoided planning run.
+
+use bgpq_core::{PlanError, QueryPlan, Semantics};
+use bgpq_pattern::PatternFingerprint;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: what the planner's outcome depends on, given a fixed schema.
+pub(crate) type PlanKey = (PatternFingerprint, Semantics);
+
+/// A memoized planning outcome — the plan, or the planner's refusal.
+pub(crate) type PlanOutcome = Arc<Result<QueryPlan, PlanError>>;
+
+struct Slot {
+    outcome: PlanOutcome,
+    last_used: u64,
+}
+
+/// A bounded least-recently-used cache of planning outcomes.
+pub(crate) struct PlanCache {
+    capacity: usize,
+    slots: HashMap<PlanKey, Slot>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` outcomes. Capacity `0`
+    /// disables caching (every lookup reports [`CacheOutcome::Bypass`]).
+    pub(crate) fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            slots: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or a miss. Returns `None` both on a
+    /// miss and when caching is disabled — the caller distinguishes the two
+    /// via [`PlanCache::is_enabled`] and is expected to plan *outside* the
+    /// cache lock, then [`PlanCache::insert`] the outcome: holding the lock
+    /// across a planning run would serialize unrelated requests behind it.
+    pub(crate) fn probe(&mut self, key: &PlanKey) -> Option<PlanOutcome> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.clock += 1;
+        match self.slots.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.clock;
+                self.hits += 1;
+                Some(Arc::clone(&slot.outcome))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `outcome` under `key`, evicting the least-recently-used entry
+    /// when full. Re-inserting a present key (two threads raced on the same
+    /// miss) replaces the slot without eviction. No-op when disabled.
+    pub(crate) fn insert(&mut self, key: PlanKey, outcome: PlanOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.slots.contains_key(&key) && self.slots.len() >= self.capacity {
+            if let Some(&lru) = self
+                .slots
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k)
+            {
+                self.slots.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.slots.insert(
+            key,
+            Slot {
+                outcome,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// False when the capacity is zero (lookups bypass the cache).
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u128) -> PlanKey {
+        (PatternFingerprint(i), Semantics::Isomorphism)
+    }
+
+    fn empty_plan(sem: Semantics) -> Result<QueryPlan, PlanError> {
+        Ok(QueryPlan {
+            semantics: sem,
+            steps: Vec::new(),
+        })
+    }
+
+    /// Probe-then-insert, the way the engine drives the cache.
+    fn fill(cache: &mut PlanCache, k: PlanKey) -> Option<PlanOutcome> {
+        let probed = cache.probe(&k);
+        if probed.is_none() && cache.is_enabled() {
+            cache.insert(k, Arc::new(empty_plan(k.1)));
+        }
+        probed
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let mut cache = PlanCache::new(4);
+        assert!(fill(&mut cache, key(1)).is_none());
+        assert!(fill(&mut cache, key(1)).is_some());
+        assert!(fill(&mut cache, key(1)).is_some());
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn semantics_is_part_of_the_key() {
+        let mut cache = PlanCache::new(4);
+        let fp = PatternFingerprint(9);
+        fill(&mut cache, (fp, Semantics::Isomorphism));
+        assert!(
+            fill(&mut cache, (fp, Semantics::Simulation)).is_none(),
+            "same fingerprint, other semantics: miss"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_drops_the_least_recently_used() {
+        let mut cache = PlanCache::new(2);
+        fill(&mut cache, key(1));
+        fill(&mut cache, key(2));
+        // Touch key 1 so key 2 becomes the LRU.
+        assert!(fill(&mut cache, key(1)).is_some());
+        fill(&mut cache, key(3));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        // Key 2 was evicted; key 1 survived.
+        assert!(fill(&mut cache, key(1)).is_some());
+        assert!(fill(&mut cache, key(2)).is_none());
+    }
+
+    #[test]
+    fn racing_reinsert_of_a_present_key_does_not_evict() {
+        let mut cache = PlanCache::new(2);
+        fill(&mut cache, key(1));
+        fill(&mut cache, key(2));
+        // Two threads raced on key 2's miss; the loser re-inserts.
+        cache.insert(key(2), Arc::new(empty_plan(Semantics::Isomorphism)));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.probe(&key(1)).is_some(), "key 1 must survive");
+    }
+
+    #[test]
+    fn zero_capacity_bypasses() {
+        let mut cache = PlanCache::new(0);
+        assert!(!cache.is_enabled());
+        assert!(cache.probe(&key(5)).is_none());
+        cache.insert(key(5), Arc::new(empty_plan(Semantics::Isomorphism)));
+        assert!(cache.probe(&key(5)).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0, "bypass counts neither hit nor miss");
+    }
+
+    #[test]
+    fn negative_outcomes_are_cached() {
+        let mut cache = PlanCache::new(2);
+        let k = key(7);
+        assert!(cache.probe(&k).is_none());
+        cache.insert(
+            k,
+            Arc::new(Err(PlanError {
+                semantics: Semantics::Isomorphism,
+                uncovered: vec![],
+            })),
+        );
+        let cached = cache.probe(&k).expect("unbounded verdicts are memoized");
+        assert!(cached.is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! The session-oriented engine.
+
+use crate::cache::{PlanCache, PlanOutcome};
+use crate::error::BgpqError;
+use crate::request::QueryRequest;
+use crate::response::{Explain, QueryResponse};
+use crate::stats::{CacheOutcome, EngineStats, ExecStats};
+use crate::strategy::{Baseline, Bounded, IndexSeeded, Strategy, StrategyKind};
+use bgpq_access::{AccessIndexSet, AccessSchema};
+use bgpq_core::{plan_for_indices, PlanError, QueryPlan};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default number of planning outcomes the engine memoizes.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// A session-oriented query engine over one graph and one access schema.
+///
+/// The engine owns the [`Graph`](bgpq_graph::Graph) and the
+/// [`AccessIndexSet`] built for its schema, and serves repeated
+/// [`QueryRequest`]s through [`Engine::execute`]. Per request it
+///
+/// 1. retrieves the planning outcome from the LRU plan cache (keyed by the
+///    pattern's canonical fingerprint and the semantics), running the
+///    effective-boundedness decision only on a miss;
+/// 2. selects a [`Strategy`]: [`Bounded`] when a plan exists, else
+///    [`IndexSeeded`] when the schema is non-empty, else [`Baseline`] — or
+///    the strategy the request forced;
+/// 3. executes it and returns a typed [`QueryResponse`] with the answer,
+///    the strategy used, and unified [`ExecStats`].
+///
+/// `execute` takes `&self` — the engine is `Sync` and can be shared across
+/// threads behind an `Arc`, with the plan cache guarded internally.
+///
+/// ```
+/// use bgpq_engine::{AccessConstraint, AccessSchema, Engine, QueryRequest};
+/// use bgpq_graph::{GraphBuilder, Value};
+/// use bgpq_pattern::{PatternBuilder, Predicate};
+///
+/// // A toy graph: one movie from 2012 with one actor, plus noise.
+/// let mut b = GraphBuilder::new();
+/// let y = b.add_node("year", Value::Int(2012));
+/// let m = b.add_node("movie", Value::str("Argo"));
+/// let a = b.add_node("actor", Value::str("Affleck"));
+/// b.add_edge(y, m).unwrap();
+/// b.add_edge(m, a).unwrap();
+/// let graph = b.build();
+///
+/// let year = graph.interner().get("year").unwrap();
+/// let movie = graph.interner().get("movie").unwrap();
+/// let actor = graph.interner().get("actor").unwrap();
+/// let schema = AccessSchema::from_constraints([
+///     AccessConstraint::global(year, 10),
+///     AccessConstraint::unary(year, movie, 5),
+///     AccessConstraint::unary(movie, actor, 5),
+/// ]);
+/// let engine = Engine::new(graph, &schema);
+///
+/// let mut pb = PatternBuilder::with_interner(engine.graph().interner().clone());
+/// let pm = pb.node("movie", Predicate::always());
+/// let py = pb.node("year", Predicate::single(bgpq_pattern::Op::Eq, 2012));
+/// let pa = pb.node("actor", Predicate::always());
+/// pb.edge(py, pm);
+/// pb.edge(pm, pa);
+///
+/// let request = QueryRequest::build(pb.build()).finish();
+/// let response = engine.execute(&request).unwrap();
+/// assert_eq!(response.answer.len(), 1);
+/// assert_eq!(response.strategy, bgpq_engine::StrategyKind::Bounded);
+/// // A second identical request is served from the plan cache.
+/// let again = engine.execute(&request).unwrap();
+/// assert_eq!(engine.stats().plan_cache_hits, 1);
+/// assert_eq!(again.answer, response.answer);
+/// ```
+pub struct Engine {
+    graph: bgpq_graph::Graph,
+    indices: AccessIndexSet,
+    strategies: Vec<Box<dyn Strategy>>,
+    cache: Mutex<PlanCache>,
+    queries: AtomicU64,
+    bounded_runs: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine for `graph` under `schema`, building one index per
+    /// constraint (the one-off session setup cost).
+    pub fn new(graph: bgpq_graph::Graph, schema: &AccessSchema) -> Self {
+        let indices = AccessIndexSet::build(&graph, schema);
+        Self::with_indices(graph, indices)
+    }
+
+    /// Creates an engine from pre-built indices (e.g. indices maintained
+    /// incrementally by `bgpq_access::maintenance` across graph updates).
+    pub fn with_indices(graph: bgpq_graph::Graph, indices: AccessIndexSet) -> Self {
+        Engine {
+            graph,
+            indices,
+            strategies: vec![Box::new(Bounded), Box::new(IndexSeeded), Box::new(Baseline)],
+            cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            queries: AtomicU64::new(0),
+            bounded_runs: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the plan cache with one of the given capacity (`0` disables
+    /// caching). Existing cached plans and cache counters are dropped.
+    pub fn with_plan_cache_capacity(self, capacity: usize) -> Self {
+        Engine {
+            cache: Mutex::new(PlanCache::new(capacity)),
+            ..self
+        }
+    }
+
+    /// The data graph the engine serves queries over.
+    pub fn graph(&self) -> &bgpq_graph::Graph {
+        &self.graph
+    }
+
+    /// The access indices backing the engine's schema.
+    pub fn indices(&self) -> &AccessIndexSet {
+        &self.indices
+    }
+
+    /// Executes one request: plan (cached) → select strategy → run.
+    ///
+    /// The request's pattern must be built against the engine graph's label
+    /// interner (clone it via `engine.graph().interner()`): matching
+    /// compares raw label ids, so a pattern from a foreign interner is
+    /// rejected with [`BgpqError::PatternMismatch`] rather than silently
+    /// returning wrong answers. Beyond that, automatic selection never
+    /// fails — every engine can at least run the baseline. The remaining
+    /// errors arise from a forced strategy the engine cannot honor:
+    /// [`BgpqError::Unbounded`] when [`StrategyKind::Bounded`] was demanded
+    /// for an unbounded pattern, [`BgpqError::StrategyUnavailable`]
+    /// otherwise.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, BgpqError> {
+        let started = Instant::now();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.check_pattern_alignment(request.pattern())?;
+
+        let (outcome, cache_outcome) = self.planning_outcome(request);
+        let plan_nanos = started.elapsed().as_nanos() as u64;
+        let plan = outcome.as_ref().as_ref().ok();
+
+        let strategy = self.select_strategy(request, plan, outcome.as_ref().as_ref().err())?;
+        if strategy.kind() == StrategyKind::Bounded {
+            self.bounded_runs.fetch_add(1, Ordering::Relaxed);
+        } else if plan.is_none() && request.forced_strategy().is_none() {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let match_started = Instant::now();
+        let run = strategy.execute(self, request, plan);
+        let match_nanos = match_started.elapsed().as_nanos() as u64;
+
+        let stats = ExecStats {
+            plan_nanos,
+            match_nanos,
+            total_nanos: started.elapsed().as_nanos() as u64,
+            plan_cache: Some(cache_outcome),
+            fetch: run.fetch,
+            worst_case_nodes: plan.map(QueryPlan::worst_case_nodes),
+            matcher_steps: run.matcher_steps,
+            aborted: run.aborted,
+        };
+        let explain = request.explain_requested().then(|| Explain {
+            strategy: strategy.kind(),
+            plan: plan.cloned(),
+            fallback_reason: outcome.as_ref().as_ref().err().map(PlanError::to_string),
+        });
+        Ok(QueryResponse {
+            answer: run.answer,
+            strategy: strategy.kind(),
+            stats,
+            explain,
+        })
+    }
+
+    /// Lifetime counters: queries served, bounded runs, fallbacks and plan
+    /// cache behavior.
+    pub fn stats(&self) -> EngineStats {
+        let cache = self.cache.lock().expect("plan cache poisoned");
+        EngineStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            bounded_runs: self.bounded_runs.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            plan_cache_hits: cache.hits(),
+            plan_cache_misses: cache.misses(),
+            plan_cache_evictions: cache.evictions(),
+            cached_plans: cache.len(),
+        }
+    }
+
+    /// Rejects patterns whose label ids disagree with the engine graph's
+    /// interner. Alignment per pattern node: its label name resolves to the
+    /// *same* id in the graph's interner — or to no id at all while the
+    /// pattern's id is also unassigned in the graph (a label the graph has
+    /// never seen can only produce an empty candidate set, never a wrong
+    /// one). Anything else means raw-id comparisons would cross names.
+    fn check_pattern_alignment(&self, pattern: &bgpq_pattern::Pattern) -> Result<(), BgpqError> {
+        let graph_interner = self.graph.interner();
+        for u in pattern.nodes() {
+            let label = pattern.label(u);
+            let aligned = match pattern.interner().name(label) {
+                Some(name) => match graph_interner.get(name) {
+                    Some(graph_label) => graph_label == label,
+                    None => !graph_interner.contains(label),
+                },
+                // The pattern's own interner does not know the id: only
+                // safe when the graph cannot produce it either.
+                None => !graph_interner.contains(label),
+            };
+            if !aligned {
+                return Err(BgpqError::PatternMismatch {
+                    node: u,
+                    label: pattern.label_name(u),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Cached planning outcome for the request's (fingerprint, semantics).
+    ///
+    /// The planner runs *outside* the cache lock: concurrent requests only
+    /// contend for the duration of a map probe or insert, never a planning
+    /// closure. Two threads racing on the same miss both plan; the second
+    /// insert harmlessly replaces the first (same schema, same pattern —
+    /// planning is deterministic).
+    fn planning_outcome(&self, request: &QueryRequest) -> (PlanOutcome, CacheOutcome) {
+        let key = (request.pattern().fingerprint(), request.semantics());
+        let (enabled, probed) = {
+            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            (cache.is_enabled(), cache.probe(&key))
+        };
+        if let Some(outcome) = probed {
+            return (outcome, CacheOutcome::Hit);
+        }
+        let outcome: PlanOutcome = Arc::new(plan_for_indices(
+            request.pattern(),
+            &self.indices,
+            request.semantics(),
+        ));
+        if !enabled {
+            return (outcome, CacheOutcome::Bypass);
+        }
+        self.cache
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, Arc::clone(&outcome));
+        (outcome, CacheOutcome::Miss)
+    }
+
+    /// First applicable strategy in tier order, or the forced one.
+    fn select_strategy(
+        &self,
+        request: &QueryRequest,
+        plan: Option<&QueryPlan>,
+        plan_err: Option<&PlanError>,
+    ) -> Result<&dyn Strategy, BgpqError> {
+        if let Some(kind) = request.forced_strategy() {
+            let strategy = self
+                .strategies
+                .iter()
+                .find(|s| s.kind() == kind)
+                .expect("all kinds are registered");
+            if strategy.is_applicable(self, request, plan) {
+                return Ok(strategy.as_ref());
+            }
+            return Err(match (kind, plan_err) {
+                (StrategyKind::Bounded, Some(err)) => BgpqError::Unbounded(err.clone()),
+                _ => BgpqError::StrategyUnavailable {
+                    requested: kind,
+                    reason: "the engine's access schema cannot support it".into(),
+                },
+            });
+        }
+        let strategy = self
+            .strategies
+            .iter()
+            .find(|s| s.is_applicable(self, request, plan))
+            .expect("Baseline is always applicable");
+        Ok(strategy.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The engine must stay shareable across threads.
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    }
+}

@@ -1,0 +1,173 @@
+//! Typed query requests.
+//!
+//! A [`QueryRequest`] bundles everything one evaluation needs — the pattern,
+//! the [`Semantics`], optional budgets, the [`Explain`](crate::Explain) flag
+//! and an optional strategy override — so the [`Engine`](crate::Engine) API
+//! stays a single `execute(&request)` call no matter how many knobs grow
+//! here later. Requests are built with [`QueryRequest::build`]:
+//!
+//! ```
+//! use bgpq_engine::{QueryRequest, Semantics};
+//! use bgpq_pattern::{PatternBuilder, Predicate};
+//!
+//! let mut b = PatternBuilder::new();
+//! let m = b.node("movie", Predicate::always());
+//! let y = b.node("year", Predicate::range(2011, 2013));
+//! b.edge(y, m);
+//!
+//! let request = QueryRequest::build(b.build())
+//!     .semantics(Semantics::Isomorphism)
+//!     .max_matches(10)
+//!     .explain(true)
+//!     .finish();
+//! assert_eq!(request.max_matches(), Some(10));
+//! ```
+
+use crate::strategy::StrategyKind;
+use bgpq_core::Semantics;
+use bgpq_pattern::Pattern;
+
+/// One query against an [`Engine`](crate::Engine): pattern, semantics,
+/// budgets and reporting options.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    pattern: Pattern,
+    semantics: Semantics,
+    max_matches: Option<usize>,
+    step_budget: Option<u64>,
+    explain: bool,
+    strategy: Option<StrategyKind>,
+}
+
+impl QueryRequest {
+    /// Starts building a request for `pattern`. Defaults: isomorphism
+    /// semantics, no budgets, no explain, automatic strategy selection.
+    pub fn build(pattern: Pattern) -> QueryRequestBuilder {
+        QueryRequestBuilder {
+            request: QueryRequest {
+                pattern,
+                semantics: Semantics::Isomorphism,
+                max_matches: None,
+                step_budget: None,
+                explain: false,
+                strategy: None,
+            },
+        }
+    }
+
+    /// The pattern to evaluate.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The query semantics.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// The node budget: stop after this many matches, when set.
+    pub fn max_matches(&self) -> Option<usize> {
+        self.max_matches
+    }
+
+    /// The time budget, counted in search-tree steps (the workspace's
+    /// deterministic stand-in for wall-clock timeouts), when set.
+    pub fn step_budget(&self) -> Option<u64> {
+        self.step_budget
+    }
+
+    /// True when the response should carry an [`Explain`](crate::Explain).
+    pub fn explain_requested(&self) -> bool {
+        self.explain
+    }
+
+    /// The forced strategy, when the request opted out of automatic
+    /// selection.
+    pub fn forced_strategy(&self) -> Option<StrategyKind> {
+        self.strategy
+    }
+}
+
+/// Builder returned by [`QueryRequest::build`].
+#[derive(Debug, Clone)]
+pub struct QueryRequestBuilder {
+    request: QueryRequest,
+}
+
+impl QueryRequestBuilder {
+    /// Sets the query semantics (default: [`Semantics::Isomorphism`]).
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.request.semantics = semantics;
+        self
+    }
+
+    /// Node budget: stop enumerating after `n` matches. Ignored by
+    /// simulation queries, whose answer is one maximum relation rather than
+    /// an enumerable set.
+    pub fn max_matches(mut self, n: usize) -> Self {
+        self.request.max_matches = Some(n);
+        self
+    }
+
+    /// Time budget in search-tree steps: the matcher aborts (reporting
+    /// [`ExecStats::aborted`](crate::ExecStats::aborted)) once it has
+    /// expanded this many nodes. Ignored by simulation queries, whose
+    /// fixpoint refinement terminates in polynomial time by construction.
+    pub fn step_budget(mut self, steps: u64) -> Self {
+        self.request.step_budget = Some(steps);
+        self
+    }
+
+    /// Requests an [`Explain`](crate::Explain) in the response: the plan (or
+    /// the planner's refusal) and the reason the strategy was picked.
+    pub fn explain(mut self, on: bool) -> Self {
+        self.request.explain = on;
+        self
+    }
+
+    /// Forces a specific strategy instead of automatic selection. The
+    /// request then fails with
+    /// [`BgpqError::Unbounded`](crate::BgpqError::Unbounded) or
+    /// [`BgpqError::StrategyUnavailable`](crate::BgpqError::StrategyUnavailable)
+    /// when that strategy cannot serve it, rather than falling back.
+    pub fn strategy(mut self, kind: StrategyKind) -> Self {
+        self.request.strategy = Some(kind);
+        self
+    }
+
+    /// Finalizes the request.
+    pub fn finish(self) -> QueryRequest {
+        self.request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq_pattern::PatternBuilder;
+
+    #[test]
+    fn defaults_and_knobs() {
+        let q = PatternBuilder::new().build();
+        let r = QueryRequest::build(q.clone()).finish();
+        assert_eq!(r.semantics(), Semantics::Isomorphism);
+        assert_eq!(r.max_matches(), None);
+        assert_eq!(r.step_budget(), None);
+        assert!(!r.explain_requested());
+        assert_eq!(r.forced_strategy(), None);
+
+        let r = QueryRequest::build(q)
+            .semantics(Semantics::Simulation)
+            .max_matches(5)
+            .step_budget(1_000)
+            .explain(true)
+            .strategy(StrategyKind::Baseline)
+            .finish();
+        assert_eq!(r.semantics(), Semantics::Simulation);
+        assert_eq!(r.max_matches(), Some(5));
+        assert_eq!(r.step_budget(), Some(1_000));
+        assert!(r.explain_requested());
+        assert_eq!(r.forced_strategy(), Some(StrategyKind::Baseline));
+        assert_eq!(r.pattern().node_count(), 0);
+    }
+}

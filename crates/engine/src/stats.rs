@@ -1,0 +1,116 @@
+//! Unified execution and engine statistics.
+
+use bgpq_core::FetchStats;
+use std::fmt;
+
+/// What the plan cache did for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The plan (or the planner's refusal) was served from the cache.
+    Hit,
+    /// The planner ran and its outcome was inserted into the cache.
+    Miss,
+    /// The cache is disabled (capacity 0); the planner ran uncached.
+    Bypass,
+}
+
+impl fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheOutcome::Hit => write!(f, "hit"),
+            CacheOutcome::Miss => write!(f, "miss"),
+            CacheOutcome::Bypass => write!(f, "bypass"),
+        }
+    }
+}
+
+/// Per-request execution statistics, unified across strategies.
+///
+/// Fields that only make sense for some strategies are `Option`s: a
+/// [`Baseline`](crate::StrategyKind::Baseline) run has no fetch, a
+/// simulation run has no matcher step counter.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Nanoseconds spent deciding boundedness / retrieving the plan
+    /// (including the cache probe).
+    pub plan_nanos: u64,
+    /// Nanoseconds spent fetching and matching.
+    pub match_nanos: u64,
+    /// End-to-end nanoseconds for the request inside the engine.
+    pub total_nanos: u64,
+    /// What the plan cache did for this request.
+    pub plan_cache: Option<CacheOutcome>,
+    /// Fetch counters (index lookups, fragment size `|G_Q|`), present iff
+    /// the bounded strategy ran.
+    pub fetch: Option<FetchStats>,
+    /// The plan's a-priori bound on fetched nodes — compare with
+    /// [`FetchStats::fragment_nodes`] for the paper's "actual vs. worst
+    /// case" measurement. Present iff the pattern is effectively bounded.
+    pub worst_case_nodes: Option<u64>,
+    /// Search-tree nodes the matcher expanded (VF2-family strategies only).
+    pub matcher_steps: Option<u64>,
+    /// True when the matcher stopped early because the request's step
+    /// budget was exhausted — the answer may be incomplete.
+    pub aborted: bool,
+}
+
+impl ExecStats {
+    /// Fraction of the worst-case node bound the fetch actually used, when
+    /// both sides are known (`None` for unbounded patterns or non-bounded
+    /// strategies; `0.0` when the worst case is itself zero).
+    pub fn fetch_utilization(&self) -> Option<f64> {
+        let fetch = self.fetch.as_ref()?;
+        let bound = self.worst_case_nodes?;
+        if bound == 0 {
+            return Some(0.0);
+        }
+        Some(fetch.fragment_nodes as f64 / bound as f64)
+    }
+}
+
+/// Counters over an [`Engine`](crate::Engine)'s lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests executed (successful or not).
+    pub queries: u64,
+    /// Requests answered by the bounded strategy.
+    pub bounded_runs: u64,
+    /// Requests that wanted the bounded strategy but fell back because the
+    /// pattern is unbounded under the engine's schema.
+    pub fallbacks: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (planner runs that were cached).
+    pub plan_cache_misses: u64,
+    /// Plans evicted to respect the cache capacity.
+    pub plan_cache_evictions: u64,
+    /// Plans (or negative outcomes) currently cached.
+    pub cached_plans: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_utilization_requires_both_sides() {
+        let mut s = ExecStats::default();
+        assert_eq!(s.fetch_utilization(), None);
+        s.worst_case_nodes = Some(10);
+        assert_eq!(s.fetch_utilization(), None);
+        s.fetch = Some(FetchStats {
+            fragment_nodes: 5,
+            ..FetchStats::default()
+        });
+        assert_eq!(s.fetch_utilization(), Some(0.5));
+        s.worst_case_nodes = Some(0);
+        assert_eq!(s.fetch_utilization(), Some(0.0));
+    }
+
+    #[test]
+    fn cache_outcome_displays() {
+        assert_eq!(CacheOutcome::Hit.to_string(), "hit");
+        assert_eq!(CacheOutcome::Miss.to_string(), "miss");
+        assert_eq!(CacheOutcome::Bypass.to_string(), "bypass");
+    }
+}

@@ -18,14 +18,13 @@
 //!   executors of `bgpq-core`.
 //!
 //! The bounded evaluation of the paper (`bVF2`, `bSim`) lives in
-//! `bgpq_core::exec` — [`bounded_subgraph_match`] and
-//! [`bounded_simulation_match`] there plan a fetch over the access indices
+//! `bgpq_core::exec` — `bounded_subgraph_match` and
+//! `bounded_simulation_match` there plan a fetch over the access indices
 //! (`bgpq_core::plan`), materialize the bounded fragment `G_Q`
 //! (`bgpq_core::fetch`), and reuse these matchers on the fragment instead of
-//! `G`.
-//!
-//! [`bounded_subgraph_match`]: https://docs.rs/bgpq-core
-//! [`bounded_simulation_match`]: https://docs.rs/bgpq-core
+//! `G`. (This crate cannot intra-doc-link those items: `bgpq-core` depends
+//! on `bgpq-matching`, not the other way around. The session-oriented entry
+//! point wrapping both sides is the `bgpq-engine` crate.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,258 @@
+//! Canonical pattern fingerprints.
+//!
+//! A [`PatternFingerprint`] is a 128-bit digest of a pattern's canonical
+//! form, used as a cache key by session-oriented evaluation layers (the plan
+//! cache of `bgpq-engine`): two requests carrying structurally identical
+//! patterns hash to the same fingerprint, so the second one can skip
+//! re-planning entirely.
+//!
+//! The canonical form is deliberately *representation*-canonical, not
+//! isomorphism-canonical (computing a graph-isomorphism-invariant code would
+//! itself cost more than planning):
+//!
+//! * **label names**, not interned ids, are hashed — two patterns built
+//!   against different [`LabelInterner`](bgpq_graph::LabelInterner)s agree as
+//!   long as their nodes carry the same label strings;
+//! * **edges are sorted** before hashing — insertion order never matters;
+//! * node order, predicates (operator + constant, in conjunction order) and
+//!   edge endpoints all contribute, since the query planner and matchers are
+//!   sensitive to exactly these.
+//!
+//! Hashing is a hand-rolled 128-bit FNV-1a (the workspace is dependency
+//! free), fully deterministic across runs, platforms and processes — unlike
+//! `std`'s `DefaultHasher`, whose keys are randomized per process. With 128
+//! bits, accidental collisions between distinct patterns are negligible for
+//! any realistic cache population.
+
+use crate::pattern::Pattern;
+use crate::predicate::Op;
+use bgpq_graph::Value;
+use std::fmt;
+
+/// The 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// The 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A deterministic 128-bit digest of a pattern's canonical form.
+///
+/// Obtained from [`Pattern::fingerprint`]; see the [module](self)
+/// documentation for the exact invariance guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternFingerprint(pub u128);
+
+impl fmt::Display for PatternFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Streaming 128-bit FNV-1a hasher.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Hashes a length-prefixed string so that adjacent fields cannot bleed
+    /// into each other (`("ab", "c")` must differ from `("a", "bc")`).
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Hashes a [`Value`] with a type tag. Floats hash by bit pattern, so
+    /// `0.0` and `-0.0` are distinct — acceptable for a cache key (the worst
+    /// case is one redundant planning run, never a wrong answer).
+    fn write_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.write(&[0]),
+            Value::Bool(b) => self.write(&[1, *b as u8]),
+            Value::Int(i) => {
+                self.write(&[2]);
+                self.write(&i.to_le_bytes());
+            }
+            Value::Float(x) => {
+                self.write(&[3]);
+                self.write(&x.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                self.write(&[4]);
+                self.write_str(s);
+            }
+        }
+    }
+}
+
+/// The operator's position in [`Op::ALL`], a stable discriminant.
+fn op_tag(op: Op) -> u8 {
+    Op::ALL.iter().position(|&o| o == op).unwrap_or(0) as u8
+}
+
+impl Pattern {
+    /// Computes the canonical fingerprint of this pattern.
+    ///
+    /// The digest covers, in order: the node count; per node its label
+    /// *name* and predicate atoms; the sorted edge list. It is deterministic
+    /// across runs and independent of both edge insertion order and the
+    /// interner's id assignment. Cost is `O(|Q| log |Q|)` — negligible next
+    /// to planning, which is the work the fingerprint lets callers skip.
+    ///
+    /// ```
+    /// use bgpq_pattern::{PatternBuilder, Predicate};
+    ///
+    /// let mut a = PatternBuilder::new();
+    /// let m = a.node("movie", Predicate::always());
+    /// let y = a.node("year", Predicate::range(2011, 2013));
+    /// a.edge(y, m);
+    /// let mut b = PatternBuilder::new();
+    /// let m = b.node("movie", Predicate::always());
+    /// let y = b.node("year", Predicate::range(2011, 2013));
+    /// b.edge(y, m);
+    /// assert_eq!(a.build().fingerprint(), b.build().fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> PatternFingerprint {
+        let mut h = Fnv128::new();
+        h.write_u64(self.node_count() as u64);
+        for u in self.nodes() {
+            h.write_str(&self.label_name(u));
+            let atoms = self.predicate(u).atoms();
+            h.write_u64(atoms.len() as u64);
+            for atom in atoms {
+                h.write(&[op_tag(atom.op)]);
+                h.write_value(&atom.constant);
+            }
+        }
+        let mut edges: Vec<_> = self.edges().collect();
+        edges.sort_unstable();
+        h.write_u64(edges.len() as u64);
+        for (s, d) in edges {
+            h.write_u32(s.0);
+            h.write_u32(d.0);
+        }
+        PatternFingerprint(h.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PatternBuilder;
+    use crate::predicate::Predicate;
+    use bgpq_graph::LabelInterner;
+
+    fn two_node(edge_first: bool) -> Pattern {
+        let mut b = PatternBuilder::new();
+        let m = b.node("movie", Predicate::always());
+        let y = b.node("year", Predicate::range(2011, 2013));
+        let a = b.node("award", Predicate::always());
+        if edge_first {
+            b.edge(y, m);
+            b.edge(a, m);
+        } else {
+            b.edge(a, m);
+            b.edge(y, m);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_patterns_agree() {
+        assert_eq!(two_node(true).fingerprint(), two_node(true).fingerprint());
+    }
+
+    #[test]
+    fn edge_insertion_order_is_irrelevant() {
+        assert_eq!(two_node(true).fingerprint(), two_node(false).fingerprint());
+    }
+
+    #[test]
+    fn interner_id_assignment_is_irrelevant() {
+        // Pre-populate an interner with unrelated labels so ids differ.
+        let mut interner = LabelInterner::new();
+        for name in ["zebra", "quark", "movie", "year", "award"] {
+            interner.intern(name);
+        }
+        let mut b = PatternBuilder::with_interner(interner);
+        let m = b.node("movie", Predicate::always());
+        let y = b.node("year", Predicate::range(2011, 2013));
+        let a = b.node("award", Predicate::always());
+        b.edge(y, m);
+        b.edge(a, m);
+        assert_eq!(b.build().fingerprint(), two_node(true).fingerprint());
+    }
+
+    #[test]
+    fn labels_predicates_and_edges_all_matter() {
+        let base = two_node(true).fingerprint();
+
+        let mut b = PatternBuilder::new();
+        let m = b.node("movie", Predicate::always());
+        let y = b.node("year", Predicate::range(2011, 2014)); // different range
+        let a = b.node("award", Predicate::always());
+        b.edge(y, m);
+        b.edge(a, m);
+        assert_ne!(b.build().fingerprint(), base);
+
+        let mut b = PatternBuilder::new();
+        let m = b.node("movie", Predicate::always());
+        let y = b.node("year", Predicate::range(2011, 2013));
+        let a = b.node("genre", Predicate::always()); // different label
+        b.edge(y, m);
+        b.edge(a, m);
+        assert_ne!(b.build().fingerprint(), base);
+
+        let mut b = PatternBuilder::new();
+        let m = b.node("movie", Predicate::always());
+        let y = b.node("year", Predicate::range(2011, 2013));
+        let a = b.node("award", Predicate::always());
+        b.edge(m, y); // reversed edge direction
+        b.edge(a, m);
+        assert_ne!(b.build().fingerprint(), base);
+    }
+
+    #[test]
+    fn node_and_edge_boundaries_do_not_bleed() {
+        // Same concatenated label bytes, different node split.
+        let mut a = PatternBuilder::new();
+        a.node("ab", Predicate::always());
+        a.node("c", Predicate::always());
+        let mut b = PatternBuilder::new();
+        b.node("a", Predicate::always());
+        b.node("bc", Predicate::always());
+        assert_ne!(a.build().fingerprint(), b.build().fingerprint());
+    }
+
+    #[test]
+    fn empty_pattern_is_stable() {
+        let a = PatternBuilder::new().build().fingerprint();
+        let b = PatternBuilder::new().build().fingerprint();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string().len(), 32);
+    }
+
+    #[test]
+    fn value_types_are_tagged() {
+        let mut a = PatternBuilder::new();
+        a.node("x", Predicate::single(Op::Eq, 1i64));
+        let mut b = PatternBuilder::new();
+        b.node("x", Predicate::single(Op::Eq, 1.0f64));
+        assert_ne!(a.build().fingerprint(), b.build().fingerprint());
+    }
+}

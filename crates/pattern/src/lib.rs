@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod fingerprint;
 pub mod generator;
 pub mod pattern;
 pub mod predicate;
 pub mod rng;
 
 pub use builder::PatternBuilder;
+pub use fingerprint::PatternFingerprint;
 pub use generator::{GeneratorConfig, WorkloadGenerator};
 pub use pattern::{Pattern, PatternNodeId};
 pub use predicate::{Atom, Op, Predicate};

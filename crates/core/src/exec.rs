@@ -5,26 +5,34 @@
 //!
 //! 1. build a [`QueryPlan`] (or fail with [`PlanError`] when `Q` is not
 //!    effectively bounded under `A` for the requested semantics);
-//! 2. [`execute_plan`] it, fetching the bounded
-//!    fragment `G_Q` through index lookups only;
-//! 3. materialize `G_Q` as a standalone graph and run the corresponding
-//!    `bgpq-matching` algorithm on it, seeded with the fetched candidate
-//!    sets;
-//! 4. translate the answers back to node ids of `G`.
+//! 2. fetch the bounded fragment `G_Q` through index lookups only
+//!    ([`crate::fetch`]);
+//! 3. build a zero-copy [`FragmentView`] of `G_Q` over `G` — membership
+//!    bitset plus fragment-local adjacency, assembled into a reusable
+//!    [`ScratchArena`] — and run the corresponding `bgpq-matching`
+//!    algorithm directly on the view, seeded with the fetched candidate
+//!    sets.
+//!
+//! Because the view keeps parent node ids throughout, the answers come out
+//! over `G` with **no id remapping**; the former hot path — materializing
+//! `G_Q` as a standalone graph and translating ids both ways — survives only
+//! as the `#[cfg(test)]` oracle that the zero-copy path is differentially
+//! tested against.
 //!
 //! The central claim of the paper — and the invariant the equivalence test
 //! suite locks down — is that the result equals whole-graph matching
 //! exactly: `bVF2(Q, G_Q) = VF2(Q, G)` and `bSim(Q, G_Q) = gsim(Q, G)`,
 //! while `|G_Q|` is bounded by `Q` and `A` alone.
 
-use crate::fetch::{execute_plan, FetchStats};
+use crate::fetch::{fetch_candidates, FetchStats};
 use crate::plan::{plan_query_filtered, PlanError, QueryPlan, Semantics};
 use bgpq_access::AccessIndexSet;
-use bgpq_graph::{Graph, NodeId};
+use bgpq_graph::{FragmentView, Graph, GraphAccess, ScratchArena};
 use bgpq_matching::{
     MatchSet, SimulationMatcher, SimulationRelation, SubgraphMatcher, Vf2Config, Vf2Stats,
 };
 use bgpq_pattern::Pattern;
+use std::time::Instant;
 
 /// The outcome of one bounded evaluation.
 #[derive(Debug, Clone)]
@@ -43,14 +51,25 @@ pub struct BoundedRun<T> {
 /// [`PlanError`] when the query is not effectively bounded under the schema.
 /// Constraints whose index was truncated during its build are excluded from
 /// planning — a truncated index cannot honor the fetch contract.
+///
+/// Allocates a fresh [`ScratchArena`] per call; session layers that serve
+/// repeated queries should plan once and call
+/// [`bounded_subgraph_match_planned`] with a pooled arena instead.
 pub fn bounded_subgraph_match(
     pattern: &Pattern,
     graph: &Graph,
     indices: &AccessIndexSet,
 ) -> Result<BoundedRun<MatchSet>, PlanError> {
     let plan = plan_for_indices(pattern, indices, Semantics::Isomorphism)?;
-    let (result, fetch, _) =
-        bounded_subgraph_match_planned(&plan, pattern, graph, indices, Vf2Config::default());
+    let mut scratch = ScratchArena::new();
+    let (result, fetch, _) = bounded_subgraph_match_planned(
+        &plan,
+        pattern,
+        graph,
+        indices,
+        Vf2Config::default(),
+        &mut scratch,
+    );
     Ok(BoundedRun {
         result,
         plan,
@@ -58,12 +77,16 @@ pub fn bounded_subgraph_match(
     })
 }
 
-/// `bVF2` with a precomputed plan and explicit matcher knobs.
+/// `bVF2` with a precomputed plan, explicit matcher knobs and a caller-owned
+/// scratch arena.
 ///
 /// Session layers (the plan cache of `bgpq-engine`) plan once per distinct
 /// pattern and replay the plan here on every request, so the planner's
-/// closure computation is off the per-query hot path. Also returns the
-/// fragment-side search statistics, letting callers enforce step budgets.
+/// closure computation is off the per-query hot path. The fragment view is
+/// built into `scratch`, whose buffers are reused across calls — in steady
+/// state the per-query fragment construction allocates nothing. Also returns
+/// the fragment-side search statistics, letting callers enforce step
+/// budgets.
 ///
 /// `plan` must have been produced for this `pattern` against the schema
 /// behind `indices` (e.g. by [`plan_for_indices`]); a plan from a
@@ -83,25 +106,27 @@ pub fn bounded_subgraph_match_planned(
     graph: &Graph,
     indices: &AccessIndexSet,
     config: Vf2Config,
+    scratch: &mut ScratchArena,
 ) -> (MatchSet, FetchStats, Vf2Stats) {
     assert_eq!(
         plan.semantics,
         Semantics::Isomorphism,
         "bVF2 requires an isomorphism plan"
     );
-    let fetched = execute_plan(plan, pattern, graph, indices);
-    let m = fetched.fragment.materialize(graph);
-    let local_candidates = to_local(&fetched.candidates, &m.to_parent);
-    let (local_matches, stats) = SubgraphMatcher::new(pattern, &m.graph)
-        .with_candidates(local_candidates)
+    let build_started = Instant::now();
+    let fetched = fetch_candidates(plan, pattern, graph, indices);
+    let view = FragmentView::induced(graph, &fetched.all_nodes, scratch);
+    let mut fetch = fetched.stats;
+    fetch.fragment_nodes = view.node_count();
+    fetch.fragment_edges = view.edge_count();
+    fetch.fragment_build_nanos = build_started.elapsed().as_nanos() as u64;
+    // Candidates are parent ids and the view speaks parent ids: the matches
+    // come out over `G` directly.
+    let (matches, stats) = SubgraphMatcher::new(pattern, &view)
+        .with_candidates(fetched.candidates)
         .with_config(config)
         .run();
-    let result = MatchSet::new(
-        local_matches
-            .iter()
-            .map(|mat| mat.map_nodes(|v| m.parent_node(v))),
-    );
-    (result, fetched.stats, stats)
+    (matches, fetch, stats)
 }
 
 /// `bSim`: bounded graph-simulation matching.
@@ -116,7 +141,9 @@ pub fn bounded_simulation_match(
     indices: &AccessIndexSet,
 ) -> Result<BoundedRun<SimulationRelation>, PlanError> {
     let plan = plan_for_indices(pattern, indices, Semantics::Simulation)?;
-    let (result, fetch) = bounded_simulation_match_planned(&plan, pattern, graph, indices);
+    let mut scratch = ScratchArena::new();
+    let (result, fetch) =
+        bounded_simulation_match_planned(&plan, pattern, graph, indices, &mut scratch);
     Ok(BoundedRun {
         result,
         plan,
@@ -124,9 +151,9 @@ pub fn bounded_simulation_match(
     })
 }
 
-/// `bSim` with a precomputed plan, the simulation counterpart of
-/// [`bounded_subgraph_match_planned`] — the same plan/schema contract
-/// applies, and the plan is likewise only borrowed.
+/// `bSim` with a precomputed plan and a caller-owned scratch arena, the
+/// simulation counterpart of [`bounded_subgraph_match_planned`] — the same
+/// plan/schema contract applies, and the plan is likewise only borrowed.
 ///
 /// # Panics
 /// Panics if `plan` was built for [`Semantics::Isomorphism`], or if it
@@ -136,22 +163,24 @@ pub fn bounded_simulation_match_planned(
     pattern: &Pattern,
     graph: &Graph,
     indices: &AccessIndexSet,
+    scratch: &mut ScratchArena,
 ) -> (SimulationRelation, FetchStats) {
     assert_eq!(
         plan.semantics,
         Semantics::Simulation,
         "bSim requires a simulation plan"
     );
-    let fetched = execute_plan(plan, pattern, graph, indices);
-    let m = fetched.fragment.materialize(graph);
-    let local_candidates = to_local(&fetched.candidates, &m.to_parent);
-    let local_relation = SimulationMatcher::new(pattern, &m.graph)
-        .with_candidates(local_candidates)
+    let build_started = Instant::now();
+    let fetched = fetch_candidates(plan, pattern, graph, indices);
+    let view = FragmentView::induced(graph, &fetched.all_nodes, scratch);
+    let mut fetch = fetched.stats;
+    fetch.fragment_nodes = view.node_count();
+    fetch.fragment_edges = view.edge_count();
+    fetch.fragment_build_nanos = build_started.elapsed().as_nanos() as u64;
+    let relation = SimulationMatcher::new(pattern, &view)
+        .with_candidates(fetched.candidates)
         .run();
-    (
-        local_relation.map_nodes(|v| m.parent_node(v)),
-        fetched.stats,
-    )
+    (relation, fetch)
 }
 
 /// Plans over the schema behind `indices`, excluding constraints whose
@@ -168,18 +197,71 @@ pub fn plan_for_indices(
     })
 }
 
-/// Translates per-pattern-node candidate sets from parent ids to the
-/// materialized fragment's local ids. `to_parent` is sorted ascending (the
-/// fragment stores its nodes in a `BTreeSet`), so a binary search inverts it.
-fn to_local(candidates: &[Vec<NodeId>], to_parent: &[NodeId]) -> Vec<Vec<NodeId>> {
-    candidates
-        .iter()
-        .map(|set| {
-            set.iter()
-                .filter_map(|v| to_parent.binary_search(v).ok().map(|i| NodeId(i as u32)))
-                .collect()
-        })
-        .collect()
+/// The pre-zero-copy execution path, kept as the differential oracle: fetch,
+/// **materialize** `G_Q` as a standalone graph, remap candidates to local
+/// ids, match, and remap the answers back to parent ids.
+#[cfg(test)]
+mod oracle {
+    use super::*;
+    use crate::fetch::execute_plan;
+    use bgpq_graph::NodeId;
+
+    pub fn bounded_subgraph_match_materialized(
+        plan: &QueryPlan,
+        pattern: &Pattern,
+        graph: &Graph,
+        indices: &AccessIndexSet,
+        config: Vf2Config,
+    ) -> (MatchSet, FetchStats) {
+        assert_eq!(plan.semantics, Semantics::Isomorphism);
+        let fetched = execute_plan(plan, pattern, graph, indices);
+        let m = fetched.fragment.materialize(graph);
+        let local_candidates = to_local(&fetched.candidates, &m.to_parent);
+        let (local_matches, _) = SubgraphMatcher::new(pattern, &m.graph)
+            .with_candidates(local_candidates)
+            .with_config(config)
+            .run();
+        let result = MatchSet::new(
+            local_matches
+                .iter()
+                .map(|mat| mat.map_nodes(|v| m.parent_node(v))),
+        );
+        (result, fetched.stats)
+    }
+
+    pub fn bounded_simulation_match_materialized(
+        plan: &QueryPlan,
+        pattern: &Pattern,
+        graph: &Graph,
+        indices: &AccessIndexSet,
+    ) -> (SimulationRelation, FetchStats) {
+        assert_eq!(plan.semantics, Semantics::Simulation);
+        let fetched = execute_plan(plan, pattern, graph, indices);
+        let m = fetched.fragment.materialize(graph);
+        let local_candidates = to_local(&fetched.candidates, &m.to_parent);
+        let local_relation = SimulationMatcher::new(pattern, &m.graph)
+            .with_candidates(local_candidates)
+            .run();
+        (
+            local_relation.map_nodes(|v| m.parent_node(v)),
+            fetched.stats,
+        )
+    }
+
+    /// Translates per-pattern-node candidate sets from parent ids to the
+    /// materialized fragment's local ids. `to_parent` is sorted ascending
+    /// (the fragment stores its nodes in a `BTreeSet`), so a binary search
+    /// inverts it.
+    fn to_local(candidates: &[Vec<NodeId>], to_parent: &[NodeId]) -> Vec<Vec<NodeId>> {
+        candidates
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .filter_map(|v| to_parent.binary_search(v).ok().map(|i| NodeId(i as u32)))
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +414,92 @@ mod tests {
         let run = bounded_subgraph_match(&q, &g, &indices).unwrap();
         assert!(run.result.is_empty());
         assert_eq!(run.result, SubgraphMatcher::new(&q, &g).find_all());
+    }
+
+    /// The zero-copy path must return byte-identical answers and fetch
+    /// counters to the retired materialize-and-remap path.
+    #[test]
+    fn zero_copy_execution_matches_materialized_oracle() {
+        let (g, schema) = setup();
+        let indices = AccessIndexSet::build(&g, &schema);
+        let mut scratch = ScratchArena::new();
+
+        let q = movie_pattern(&g);
+        let plan = plan_for_indices(&q, &indices, Semantics::Isomorphism).unwrap();
+        let (fast, fast_fetch, _) = bounded_subgraph_match_planned(
+            &plan,
+            &q,
+            &g,
+            &indices,
+            Vf2Config::default(),
+            &mut scratch,
+        );
+        let (oracle, oracle_fetch) = super::oracle::bounded_subgraph_match_materialized(
+            &plan,
+            &q,
+            &g,
+            &indices,
+            Vf2Config::default(),
+        );
+        assert_eq!(fast, oracle);
+        assert_eq!(fast_fetch.fragment_nodes, oracle_fetch.fragment_nodes);
+        assert_eq!(fast_fetch.fragment_edges, oracle_fetch.fragment_edges);
+        assert_eq!(fast_fetch.index_lookups, oracle_fetch.index_lookups);
+        assert_eq!(
+            fast_fetch.predicate_filtered,
+            oracle_fetch.predicate_filtered
+        );
+
+        // Simulation side, on a simulation-bounded fixture, reusing the
+        // same arena (exercises cross-query reuse).
+        let mut gb = GraphBuilder::new();
+        let a1 = gb.add_node("a", Value::Int(1));
+        let b1 = gb.add_node("b", Value::Int(1));
+        gb.add_edge(a1, b1).unwrap();
+        gb.add_node("b", Value::Int(2));
+        let g2 = gb.build();
+        let la = g2.interner().get("a").unwrap();
+        let lb = g2.interner().get("b").unwrap();
+        let schema2 = AccessSchema::from_constraints([
+            AccessConstraint::global(lb, 2),
+            AccessConstraint::unary(lb, la, 1),
+        ]);
+        let indices2 = AccessIndexSet::build(&g2, &schema2);
+        let mut pb = PatternBuilder::with_interner(g2.interner().clone());
+        let pa = pb.node("a", Predicate::always());
+        let pbn = pb.node("b", Predicate::always());
+        pb.edge(pa, pbn);
+        let q2 = pb.build();
+        let plan2 = plan_for_indices(&q2, &indices2, Semantics::Simulation).unwrap();
+        let (fast, _) = bounded_simulation_match_planned(&plan2, &q2, &g2, &indices2, &mut scratch);
+        let (oracle, _) =
+            super::oracle::bounded_simulation_match_materialized(&plan2, &q2, &g2, &indices2);
+        assert_eq!(fast, oracle);
+        assert_eq!(fast, simulation_match(&q2, &g2));
+    }
+
+    /// Arena reuse across many queries must never leak state between
+    /// fragments.
+    #[test]
+    fn scratch_arena_reuse_is_stateless_across_queries() {
+        let (g, schema) = setup();
+        let indices = AccessIndexSet::build(&g, &schema);
+        let mut scratch = ScratchArena::new();
+        let q = movie_pattern(&g);
+        let plan = plan_for_indices(&q, &indices, Semantics::Isomorphism).unwrap();
+        let baseline = SubgraphMatcher::new(&q, &g).find_all();
+        for _ in 0..5 {
+            let (matches, fetch, _) = bounded_subgraph_match_planned(
+                &plan,
+                &q,
+                &g,
+                &indices,
+                Vf2Config::default(),
+                &mut scratch,
+            );
+            assert_eq!(matches, baseline);
+            assert!(fetch.fragment_nodes <= 8);
+        }
     }
 
     /// A hub with enough (x, y) neighbor pairs to overflow the per-node

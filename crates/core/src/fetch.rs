@@ -13,15 +13,27 @@
 //! nodes, and building the induced [`Subgraph`] touches only the adjacency of
 //! fetched nodes. [`FetchStats`] records the actual counts so experiments can
 //! reproduce the paper's `|G_Q|/|G|` measurements.
+//!
+//! Two entry points share the lookup loop: [`execute_plan`] materializes the
+//! fragment as an explicit [`Subgraph`] (inspection, tests, offline tools),
+//! while the crate-internal `fetch_candidates` returns only the candidate
+//! sets and their sorted union — the bounded executors of [`crate::exec`]
+//! build a zero-copy [`FragmentView`](bgpq_graph::FragmentView) from that
+//! union instead of ever allocating a `Subgraph` on the hot path.
 
 use crate::plan::QueryPlan;
 use bgpq_access::AccessIndexSet;
 use bgpq_graph::{Graph, NodeId, Subgraph};
 use bgpq_matching::seed::for_each_combination;
 use bgpq_pattern::Pattern;
+use std::time::Instant;
 
 /// Counters describing one plan execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Deliberately **not** `PartialEq`: the struct carries the wall-clock
+/// [`FetchStats::fragment_build_nanos`], so two semantically identical
+/// fetches are never byte-equal. Compare the individual counters instead.
+#[derive(Debug, Clone, Default)]
 pub struct FetchStats {
     /// Number of index lookups issued.
     pub index_lookups: u64,
@@ -35,6 +47,10 @@ pub struct FetchStats {
     pub fragment_nodes: usize,
     /// Edges in the fetched fragment `|E(G_Q)|`.
     pub fragment_edges: usize,
+    /// Nanoseconds spent fetching candidates and building the fragment
+    /// (index lookups + `Subgraph`/`FragmentView` construction). A timing,
+    /// not a semantic counter: two equal fetches may differ here.
+    pub fragment_build_nanos: u64,
 }
 
 impl FetchStats {
@@ -57,21 +73,33 @@ pub struct FetchResult {
     pub stats: FetchStats,
 }
 
-/// Executes `plan` for `pattern` against `indices`, materializing the
-/// fragment from `graph`.
-///
-/// `graph` is only used to evaluate predicates on fetched nodes and to
-/// induce the fragment's edges — both bounded by the fetched node set.
+/// The lean fetch outcome the bounded executors consume: candidate sets and
+/// their sorted union, with no fragment container allocated.
+#[derive(Debug, Clone)]
+pub(crate) struct FetchedCandidates {
+    /// Sorted, deduplicated candidate set per pattern node.
+    pub candidates: Vec<Vec<NodeId>>,
+    /// Sorted, deduplicated union of all candidate sets — the node set of
+    /// the fragment `G_Q` those candidates induce.
+    pub all_nodes: Vec<NodeId>,
+    /// Counters; `fragment_nodes`/`fragment_edges`/`fragment_build_nanos`
+    /// are left for the caller to fill once the fragment representation
+    /// (view or subgraph) exists.
+    pub stats: FetchStats,
+}
+
+/// Runs the index-lookup loop of `plan`, producing per-node candidates and
+/// their union. Shared by [`execute_plan`] and the bounded executors.
 ///
 /// # Panics
 /// Panics if `plan` references constraints absent from `indices` (i.e. the
 /// plan was built against a different schema).
-pub fn execute_plan(
+pub(crate) fn fetch_candidates(
     plan: &QueryPlan,
     pattern: &Pattern,
     graph: &Graph,
     indices: &AccessIndexSet,
-) -> FetchResult {
+) -> FetchedCandidates {
     let n = pattern.node_count();
     let mut candidates: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut stats = FetchStats::default();
@@ -105,12 +133,42 @@ pub fn execute_plan(
         v.dedup();
         v
     };
-    let fragment = Subgraph::induced(graph, all_nodes);
+
+    FetchedCandidates {
+        candidates,
+        all_nodes,
+        stats,
+    }
+}
+
+/// Executes `plan` for `pattern` against `indices`, materializing the
+/// fragment from `graph` as an explicit [`Subgraph`].
+///
+/// `graph` is only used to evaluate predicates on fetched nodes and to
+/// induce the fragment's edges — both bounded by the fetched node set.
+/// The bounded executors of [`crate::exec`] do not go through this function:
+/// they build a zero-copy [`FragmentView`](bgpq_graph::FragmentView) from
+/// the crate-internal `fetch_candidates` instead.
+///
+/// # Panics
+/// Panics if `plan` references constraints absent from `indices` (i.e. the
+/// plan was built against a different schema).
+pub fn execute_plan(
+    plan: &QueryPlan,
+    pattern: &Pattern,
+    graph: &Graph,
+    indices: &AccessIndexSet,
+) -> FetchResult {
+    let started = Instant::now();
+    let fetched = fetch_candidates(plan, pattern, graph, indices);
+    let fragment = Subgraph::induced(graph, fetched.all_nodes);
+    let mut stats = fetched.stats;
     stats.fragment_nodes = fragment.node_count();
     stats.fragment_edges = fragment.edge_count();
+    stats.fragment_build_nanos = started.elapsed().as_nanos() as u64;
 
     FetchResult {
-        candidates,
+        candidates: fetched.candidates,
         fragment,
         stats,
     }

@@ -17,8 +17,11 @@
 //!   sets through index lookups only and inducing the bounded fragment
 //!   `G_Q` as a [`Subgraph`](bgpq_graph::Subgraph);
 //! * [`exec`] — the bounded executors [`bounded_subgraph_match`] (`bVF2`)
-//!   and [`bounded_simulation_match`] (`bSim`), which materialize `G_Q` and
-//!   reuse the `bgpq-matching` algorithms on it, returning answers that are
+//!   and [`bounded_simulation_match`] (`bSim`), which run the
+//!   `bgpq-matching` algorithms directly on a zero-copy
+//!   [`FragmentView`](bgpq_graph::FragmentView) of `G_Q` (built into a
+//!   reusable [`ScratchArena`](bgpq_graph::ScratchArena) — no fragment
+//!   materialization, no id remapping), returning answers that are
 //!   **identical** to whole-graph `VF2` / `gsim`.
 //!
 //! The cross-algorithm equivalence suite in `tests/equivalence.rs` asserts

@@ -29,6 +29,9 @@ struct BenchConfig {
     rounds: usize,
     /// Output path for the JSON report.
     out: String,
+    /// Exit non-zero when `speedup.vf2_over_bvf2` falls below this (the CI
+    /// bench-regression gate).
+    min_speedup: Option<f64>,
 }
 
 impl BenchConfig {
@@ -42,6 +45,7 @@ impl BenchConfig {
                 queries: 5,
                 rounds: 2,
                 out: "BENCH_engine.json".to_string(),
+                min_speedup: None,
             }
         } else {
             BenchConfig {
@@ -49,6 +53,7 @@ impl BenchConfig {
                 queries: 10,
                 rounds: 3,
                 out: "BENCH_engine.json".to_string(),
+                min_speedup: None,
             }
         };
         let mut it = args.iter();
@@ -64,6 +69,11 @@ impl BenchConfig {
                 "--queries" => config.queries = parse_num(&value_for("--queries")?)?,
                 "--rounds" => config.rounds = parse_num(&value_for("--rounds")?)?,
                 "--out" => config.out = value_for("--out")?,
+                "--min-speedup" => {
+                    let raw = value_for("--min-speedup")?;
+                    config.min_speedup =
+                        Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -179,7 +189,8 @@ fn main() {
         Err(e) => {
             eprintln!("bench: {e}");
             eprintln!(
-                "usage: bench [--smoke] [--movies N] [--queries K] [--rounds R] [--out PATH]"
+                "usage: bench [--smoke] [--movies N] [--queries K] [--rounds R] \
+                 [--out PATH] [--min-speedup X]"
             );
             std::process::exit(2);
         }
@@ -204,6 +215,8 @@ fn main() {
     let mut opt = Timing::default();
     let mut bounded = Timing::default();
     let mut fragment_nodes = 0u64;
+    let mut fragment_build_nanos = 0u128;
+    let mut match_nanos = 0u128;
 
     for round in 0..config.rounds {
         for q in &queries {
@@ -224,6 +237,8 @@ fn main() {
                 )
                 .expect("bench queries are bounded by construction");
             bounded.record(t.elapsed().as_nanos(), response.answer.len());
+            fragment_build_nanos += response.stats.fragment_build_nanos as u128;
+            match_nanos += response.stats.match_nanos as u128;
 
             if let Some(fetch) = &response.stats.fetch {
                 fragment_nodes += fetch.fragment_nodes as u64;
@@ -246,9 +261,13 @@ fn main() {
     let stats = engine.stats();
     let graph_nodes = engine.graph().node_count() as f64;
     let avg_fragment = fragment_nodes as f64 / bounded.runs.max(1) as f64;
+    let runs = bounded.runs.max(1) as f64;
+    let avg_build_us = fragment_build_nanos as f64 / runs / 1_000.0;
+    let avg_match_us = match_nanos as f64 / runs / 1_000.0;
+    let vf2_over_bvf2 = vf2.avg_micros() / bounded.avg_micros().max(0.001);
     let report = format!
 (
-        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
+        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"bvf2_breakdown\": {{\"fragment_build_us\": {:.1}, \"match_us\": {:.1}}},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
         config.movies,
         config.queries,
         config.rounds,
@@ -257,20 +276,35 @@ fn main() {
         json_entry("vf2", &vf2),
         json_entry("optvf2", &opt),
         json_entry("bvf2_engine", &bounded),
+        avg_build_us,
+        avg_match_us,
         avg_fragment,
         avg_fragment / graph_nodes,
         stats.plan_cache_hits,
         stats.plan_cache_misses,
         stats.plan_cache_evictions,
-        vf2.avg_micros() / bounded.avg_micros().max(0.001),
+        vf2_over_bvf2,
         opt.avg_micros() / bounded.avg_micros().max(0.001),
     );
     std::fs::write(&config.out, &report).expect("write bench report");
     println!(
-        "vf2 {:.1} us | optvf2 {:.1} us | bvf2(engine) {:.1} us per query; report -> {}",
+        "vf2 {:.1} us | optvf2 {:.1} us | bvf2(engine) {:.1} us per query \
+         (fragment build {:.1} us + match {:.1} us); report -> {}",
         vf2.avg_micros(),
         opt.avg_micros(),
         bounded.avg_micros(),
+        avg_build_us,
+        avg_match_us,
         config.out
     );
+    if let Some(min) = config.min_speedup {
+        if vf2_over_bvf2 < min {
+            eprintln!(
+                "bench: REGRESSION — speedup.vf2_over_bvf2 = {vf2_over_bvf2:.2} \
+                 is below the required minimum {min:.2}"
+            );
+            std::process::exit(1);
+        }
+        println!("bench: speedup gate passed ({vf2_over_bvf2:.2} >= {min:.2})");
+    }
 }

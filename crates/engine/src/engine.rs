@@ -8,6 +8,7 @@ use crate::stats::{CacheOutcome, EngineStats, ExecStats};
 use crate::strategy::{Baseline, Bounded, IndexSeeded, Strategy, StrategyKind};
 use bgpq_access::{AccessIndexSet, AccessSchema};
 use bgpq_core::{plan_for_indices, PlanError, QueryPlan};
+use bgpq_graph::ScratchArena;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -78,6 +79,10 @@ pub struct Engine {
     indices: AccessIndexSet,
     strategies: Vec<Box<dyn Strategy>>,
     cache: Mutex<PlanCache>,
+    /// Pool of fragment-construction arenas, one checked out per in-flight
+    /// bounded execution; buffers are reused across queries so steady-state
+    /// fragment builds allocate nothing.
+    scratch: Mutex<Vec<ScratchArena>>,
     queries: AtomicU64,
     bounded_runs: AtomicU64,
     fallbacks: AtomicU64,
@@ -99,6 +104,7 @@ impl Engine {
             indices,
             strategies: vec![Box::new(Bounded), Box::new(IndexSeeded), Box::new(Baseline)],
             cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            scratch: Mutex::new(Vec::new()),
             queries: AtomicU64::new(0),
             bounded_runs: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
@@ -122,6 +128,26 @@ impl Engine {
     /// The access indices backing the engine's schema.
     pub fn indices(&self) -> &AccessIndexSet {
         &self.indices
+    }
+
+    /// Runs `f` with a [`ScratchArena`] checked out of the engine's pool
+    /// (creating one when the pool is empty, e.g. the first query or under
+    /// concurrency) and returns the arena afterwards. Concurrent bounded
+    /// executions each get their own arena — the pool only serializes the
+    /// checkout, never the fragment build.
+    pub(crate) fn with_scratch<R>(&self, f: impl FnOnce(&mut ScratchArena) -> R) -> R {
+        let mut arena = self
+            .scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let result = f(&mut arena);
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(arena);
+        result
     }
 
     /// Executes one request: plan (cached) → select strategy → run.
@@ -154,13 +180,19 @@ impl Engine {
 
         let match_started = Instant::now();
         let run = strategy.execute(self, request, plan);
-        let match_nanos = match_started.elapsed().as_nanos() as u64;
+        let exec_nanos = match_started.elapsed().as_nanos() as u64;
+        let fragment_build_nanos = run
+            .fetch
+            .as_ref()
+            .map_or(0, |fetch| fetch.fragment_build_nanos);
 
         let stats = ExecStats {
             plan_nanos,
-            match_nanos,
+            fragment_build_nanos,
+            match_nanos: exec_nanos.saturating_sub(fragment_build_nanos),
             total_nanos: started.elapsed().as_nanos() as u64,
             plan_cache: Some(cache_outcome),
+            predicate_filtered: run.predicate_filtered,
             fetch: run.fetch,
             worst_case_nodes: plan.map(QueryPlan::worst_case_nodes),
             matcher_steps: run.matcher_steps,

@@ -61,9 +61,12 @@ pub use bgpq_core::{
     bounded_subgraph_match_planned, execute_plan, plan_for_indices, plan_query, BoundedRun,
     FetchResult, FetchStats, PlanError, QueryPlan, Semantics,
 };
-pub use bgpq_graph::{Graph, GraphBuilder, GraphError, Subgraph};
+pub use bgpq_graph::{
+    FragmentView, Graph, GraphAccess, GraphBuilder, GraphError, ScratchArena, Subgraph,
+};
 pub use bgpq_matching::{
-    opt_simulation_match, opt_subgraph_match, simulation_match, Match, MatchSet, SimulationMatcher,
-    SimulationRelation, SubgraphMatcher, Vf2Config, Vf2Stats,
+    opt_simulation_match, opt_simulation_match_stats, opt_subgraph_match, opt_subgraph_match_stats,
+    simulation_match, Match, MatchSet, SeedStats, SimulationMatcher, SimulationRelation,
+    SubgraphMatcher, Vf2Config, Vf2Stats,
 };
 pub use bgpq_pattern::{Pattern, PatternBuilder, PatternFingerprint, Predicate, WorkloadGenerator};

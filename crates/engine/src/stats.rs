@@ -34,12 +34,23 @@ pub struct ExecStats {
     /// Nanoseconds spent deciding boundedness / retrieving the plan
     /// (including the cache probe).
     pub plan_nanos: u64,
-    /// Nanoseconds spent fetching and matching.
+    /// Nanoseconds spent fetching candidates and building the fragment view
+    /// (`0` unless the bounded strategy ran) — the paper-side cost of
+    /// assembling `G_Q` before any matching happens.
+    pub fragment_build_nanos: u64,
+    /// Nanoseconds spent in the matcher proper (for bounded runs, the
+    /// strategy's execution time minus [`ExecStats::fragment_build_nanos`]).
     pub match_nanos: u64,
     /// End-to-end nanoseconds for the request inside the engine.
     pub total_nanos: u64,
     /// What the plan cache did for this request.
     pub plan_cache: Option<CacheOutcome>,
+    /// Candidate nodes rejected by the pattern's predicates before matching,
+    /// reported by **every** strategy: the bounded tier counts fetched nodes
+    /// its predicates dropped, the seeded tier counts drops during candidate
+    /// seeding, and the baseline counts label-compatible nodes failing their
+    /// predicate.
+    pub predicate_filtered: u64,
     /// Fetch counters (index lookups, fragment size `|G_Q|`), present iff
     /// the bounded strategy ran.
     pub fetch: Option<FetchStats>,

@@ -26,10 +26,12 @@ use bgpq_core::{
     bounded_simulation_match_planned, bounded_subgraph_match_planned, FetchStats, QueryPlan,
     Semantics,
 };
+use bgpq_graph::Graph;
 use bgpq_matching::{
-    opt_simulation_match, opt_subgraph_match_with_config, simulation_match, SubgraphMatcher,
+    opt_simulation_match_stats, opt_subgraph_match_stats, simulation_match, SubgraphMatcher,
     Vf2Config,
 };
+use bgpq_pattern::Pattern;
 use std::fmt;
 
 /// Identifies a strategy, in responses and for per-request overrides.
@@ -62,6 +64,10 @@ pub struct StrategyRun {
     pub answer: QueryAnswer,
     /// Fetch counters, when the strategy fetched a fragment.
     pub fetch: Option<FetchStats>,
+    /// Candidate nodes the pattern's predicates rejected before matching
+    /// (see [`ExecStats::predicate_filtered`](crate::ExecStats::predicate_filtered)
+    /// for the per-strategy meaning). Populated by every strategy.
+    pub predicate_filtered: u64,
     /// Search-tree steps, when the strategy ran a VF2-family search.
     pub matcher_steps: Option<u64>,
     /// True when the search stopped on the request's step budget.
@@ -128,29 +134,37 @@ impl Strategy for Bounded {
         let plan = plan.expect("engine dispatches Bounded only with a plan");
         match request.semantics() {
             Semantics::Isomorphism => {
-                let (matches, fetch, stats) = bounded_subgraph_match_planned(
-                    plan,
-                    request.pattern(),
-                    engine.graph(),
-                    engine.indices(),
-                    vf2_config(request),
-                );
+                let (matches, fetch, stats) = engine.with_scratch(|scratch| {
+                    bounded_subgraph_match_planned(
+                        plan,
+                        request.pattern(),
+                        engine.graph(),
+                        engine.indices(),
+                        vf2_config(request),
+                        scratch,
+                    )
+                });
                 StrategyRun {
                     answer: QueryAnswer::Matches(matches),
+                    predicate_filtered: fetch.predicate_filtered,
                     fetch: Some(fetch),
                     matcher_steps: Some(stats.steps),
                     aborted: stats.aborted,
                 }
             }
             Semantics::Simulation => {
-                let (relation, fetch) = bounded_simulation_match_planned(
-                    plan,
-                    request.pattern(),
-                    engine.graph(),
-                    engine.indices(),
-                );
+                let (relation, fetch) = engine.with_scratch(|scratch| {
+                    bounded_simulation_match_planned(
+                        plan,
+                        request.pattern(),
+                        engine.graph(),
+                        engine.indices(),
+                        scratch,
+                    )
+                });
                 StrategyRun {
                     answer: QueryAnswer::Simulation(relation),
+                    predicate_filtered: fetch.predicate_filtered,
                     fetch: Some(fetch),
                     matcher_steps: None,
                     aborted: false,
@@ -182,7 +196,7 @@ impl Strategy for IndexSeeded {
     ) -> StrategyRun {
         match request.semantics() {
             Semantics::Isomorphism => {
-                let (matches, stats) = opt_subgraph_match_with_config(
+                let (matches, stats, seed) = opt_subgraph_match_stats(
                     request.pattern(),
                     engine.graph(),
                     engine.indices(),
@@ -191,20 +205,22 @@ impl Strategy for IndexSeeded {
                 StrategyRun {
                     answer: QueryAnswer::Matches(matches),
                     fetch: None,
+                    predicate_filtered: seed.predicate_filtered,
                     matcher_steps: Some(stats.steps),
                     aborted: stats.aborted,
                 }
             }
-            Semantics::Simulation => StrategyRun {
-                answer: QueryAnswer::Simulation(opt_simulation_match(
-                    request.pattern(),
-                    engine.graph(),
-                    engine.indices(),
-                )),
-                fetch: None,
-                matcher_steps: None,
-                aborted: false,
-            },
+            Semantics::Simulation => {
+                let (relation, seed) =
+                    opt_simulation_match_stats(request.pattern(), engine.graph(), engine.indices());
+                StrategyRun {
+                    answer: QueryAnswer::Simulation(relation),
+                    fetch: None,
+                    predicate_filtered: seed.predicate_filtered,
+                    matcher_steps: None,
+                    aborted: false,
+                }
+            }
         }
     }
 }
@@ -227,6 +243,7 @@ impl Strategy for Baseline {
         request: &QueryRequest,
         _: Option<&QueryPlan>,
     ) -> StrategyRun {
+        let predicate_filtered = label_scan_predicate_filtered(request.pattern(), engine.graph());
         match request.semantics() {
             Semantics::Isomorphism => {
                 let (matches, stats) = SubgraphMatcher::new(request.pattern(), engine.graph())
@@ -235,6 +252,7 @@ impl Strategy for Baseline {
                 StrategyRun {
                     answer: QueryAnswer::Matches(matches),
                     fetch: None,
+                    predicate_filtered,
                     matcher_steps: Some(stats.steps),
                     aborted: stats.aborted,
                 }
@@ -245,9 +263,27 @@ impl Strategy for Baseline {
                     engine.graph(),
                 )),
                 fetch: None,
+                predicate_filtered,
                 matcher_steps: None,
                 aborted: false,
             },
         }
     }
+}
+
+/// The baseline's `predicate_filtered` counter: label-compatible data nodes
+/// each pattern node's predicate rejects. A reporting scan (one pass over
+/// the label index per pattern node), kept out of the matchers so it cannot
+/// perturb their search statistics.
+fn label_scan_predicate_filtered(pattern: &Pattern, graph: &Graph) -> u64 {
+    pattern
+        .nodes()
+        .map(|u| {
+            graph
+                .nodes_with_label(pattern.label(u))
+                .iter()
+                .filter(|&&v| !pattern.predicate(u).eval(graph.value(v)))
+                .count() as u64
+        })
+        .sum()
 }

@@ -350,6 +350,74 @@ fn budgets_truncate_and_abort() {
     assert!(starved.answer.len() < full_len);
 }
 
+/// Stats must be populated uniformly: every strategy reports the plan-cache
+/// outcome and the `predicate_filtered` counter, and the
+/// `fragment_build`/`match` time split is consistent with which strategy
+/// actually fetched a fragment.
+#[test]
+fn exec_stats_are_uniform_across_strategies() {
+    let engine = engine();
+    // The 2011 predicate rejects the three other year nodes, so every
+    // strategy must report predicate-filtered candidates.
+    for (kind, semantics) in [
+        (StrategyKind::Bounded, Semantics::Isomorphism),
+        (StrategyKind::IndexSeeded, Semantics::Isomorphism),
+        (StrategyKind::IndexSeeded, Semantics::Simulation),
+        (StrategyKind::Baseline, Semantics::Isomorphism),
+        (StrategyKind::Baseline, Semantics::Simulation),
+    ] {
+        let r = engine
+            .execute(
+                &QueryRequest::build(movie_pattern(engine.graph(), 2011))
+                    .semantics(semantics)
+                    .strategy(kind)
+                    .finish(),
+            )
+            .unwrap();
+        assert_eq!(r.strategy, kind);
+        assert!(
+            r.stats.plan_cache.is_some(),
+            "{kind:?}/{semantics}: plan cache outcome missing"
+        );
+        assert_eq!(
+            r.stats.predicate_filtered, 3,
+            "{kind:?}/{semantics}: three non-2011 years must be filtered"
+        );
+        // The build/match split: only the bounded tier builds a fragment.
+        if kind == StrategyKind::Bounded {
+            assert!(r.stats.fetch.is_some());
+            assert!(r.stats.fragment_build_nanos > 0);
+            assert_eq!(
+                r.stats.fetch.as_ref().unwrap().fragment_build_nanos,
+                r.stats.fragment_build_nanos
+            );
+        } else {
+            assert!(r.stats.fetch.is_none());
+            assert_eq!(r.stats.fragment_build_nanos, 0);
+        }
+        assert!(r.stats.total_nanos >= r.stats.match_nanos + r.stats.fragment_build_nanos);
+    }
+    // A repeated request reports a Hit on every strategy, not just Bounded.
+    for kind in [
+        StrategyKind::Bounded,
+        StrategyKind::IndexSeeded,
+        StrategyKind::Baseline,
+    ] {
+        let r = engine
+            .execute(
+                &QueryRequest::build(movie_pattern(engine.graph(), 2011))
+                    .strategy(kind)
+                    .finish(),
+            )
+            .unwrap();
+        assert_eq!(
+            r.stats.plan_cache,
+            Some(CacheOutcome::Hit),
+            "{kind:?}: repeat request must hit the plan cache"
+        );
+    }
+}
+
 /// The equivalence suite's guarantee, re-asserted through the session API:
 /// on generated workloads the engine (auto-selected strategy) returns
 /// exactly the direct algorithms' answers, for both semantics.

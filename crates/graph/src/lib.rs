@@ -17,6 +17,10 @@
 //!   lists, per-label node indexes and neighbor/common-neighbor queries;
 //! * [`Subgraph`] — the representation of the bounded fragment `G_Q` that a
 //!   query plan fetches from `G`;
+//! * [`view`] — zero-copy fragment execution: the [`GraphAccess`] trait the
+//!   matchers are generic over, and [`FragmentView`], a borrow of `G` plus a
+//!   fragment's node set that the bounded executors match on directly
+//!   (adjacency built once into a reusable [`ScratchArena`]);
 //! * [`stats`] — degree / label-frequency statistics used when discovering
 //!   access constraints;
 //! * [`io`] — a plain-text interchange format for graphs.
@@ -37,6 +41,7 @@ pub mod label_index;
 pub mod stats;
 pub mod subgraph;
 pub mod value;
+pub mod view;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
@@ -46,6 +51,7 @@ pub use label_index::LabelIndex;
 pub use stats::GraphStats;
 pub use subgraph::Subgraph;
 pub use value::Value;
+pub use view::{FragmentView, GraphAccess, ScratchArena};
 
 /// Convenient `Result` alias used across the graph substrate.
 pub type Result<T> = std::result::Result<T, GraphError>;

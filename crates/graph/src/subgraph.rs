@@ -4,8 +4,13 @@
 //! nodes and edges from the big graph `G`; [`Subgraph`] is the container for
 //! that fragment. It stores parent node ids and parent edges, and can be
 //! materialized into a standalone [`Graph`] (sharing the parent's label
-//! alphabet) on which the match algorithms run, together with the mapping
-//! back to parent node ids so matches can be reported over `G`.
+//! alphabet), together with the mapping back to parent node ids.
+//!
+//! Materialization copies the fragment — interner clone, node re-insertion,
+//! two rounds of id remapping — and is **not** the execution hot path
+//! anymore: the bounded executors run the matchers on a zero-copy
+//! [`crate::FragmentView`] instead. [`Subgraph::materialize`] remains as the
+//! slow, obviously-correct oracle the view is differentially tested against.
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};

@@ -1,0 +1,667 @@
+//! Zero-copy fragment execution: [`GraphAccess`] and [`FragmentView`].
+//!
+//! The bounded executors of `bgpq-core` evaluate a pattern on the fetched
+//! fragment `G_Q ⊆ G`. The original implementation *materialized* `G_Q` as a
+//! standalone [`Graph`] per query — cloning the label interner, re-adding
+//! every node and value through a [`crate::GraphBuilder`], and remapping all
+//! node ids twice (parent → local for the candidate sets, local → parent for
+//! the answers). On the reference benchmark that copy dominated the bounded
+//! hot path and made `bVF2` *slower* than whole-graph `VF2`.
+//!
+//! This module removes the copy:
+//!
+//! * [`GraphAccess`] abstracts the read surface the matchers of
+//!   `bgpq-matching` need (labels, values, adjacency, degrees, label
+//!   lookups), so the same `VF2`/`gsim` code runs on a whole [`Graph`] or on
+//!   a fragment view without knowing which;
+//! * [`FragmentView`] implements it as a *borrow* of the base graph plus the
+//!   fragment's node set: a bitset records membership, and fragment-local
+//!   adjacency lists (CSR layout) are built once per query by filtering the
+//!   parent adjacency — node ids remain **parent ids** throughout, so no
+//!   remapping ever happens;
+//! * [`ScratchArena`] owns the buffers a view is built into. A session layer
+//!   (the `bgpq-engine` `Engine`) keeps arenas across queries, so steady-state
+//!   fragment construction performs no allocations at all.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::label::Label;
+use crate::subgraph::Subgraph;
+use crate::value::Value;
+
+/// The read-only graph surface pattern matchers run against.
+///
+/// Implemented by [`Graph`] (the whole data graph) and by [`FragmentView`]
+/// (a zero-copy view of a fragment `G_Q ⊆ G`). All node ids handed in and
+/// out are ids of the underlying *base* graph; a view merely restricts which
+/// nodes and edges are visible.
+pub trait GraphAccess {
+    /// Number of visible nodes.
+    fn node_count(&self) -> usize;
+
+    /// Number of visible directed edges.
+    fn edge_count(&self) -> usize;
+
+    /// True when `v` is a visible node.
+    fn contains_node(&self, v: NodeId) -> bool;
+
+    /// The label `f(v)` of node `v`.
+    ///
+    /// # Panics
+    /// May panic when `v` is not a node of the underlying graph.
+    fn label(&self, v: NodeId) -> Label;
+
+    /// The attribute value `ν(v)` of node `v`.
+    ///
+    /// # Panics
+    /// May panic when `v` is not a node of the underlying graph.
+    fn value(&self, v: NodeId) -> &Value;
+
+    /// Visible out-neighbors of `v`, sorted by node id. Empty when `v` is
+    /// not visible.
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// Visible in-neighbors of `v`, sorted by node id. Empty when `v` is
+    /// not visible.
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// True when the directed edge `(src, dst)` is visible.
+    fn has_edge(&self, src: NodeId, dst: NodeId) -> bool;
+
+    /// Visible nodes carrying `label`, sorted by node id.
+    fn nodes_with_label(&self, label: Label) -> &[NodeId];
+
+    /// Iterates over all visible node ids, ascending.
+    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_>;
+
+    /// Iterates over all visible directed edges, ascending by `(src, dst)`.
+    fn edge_ids(&self) -> Box<dyn Iterator<Item = EdgeId> + '_>;
+
+    /// Visible out-degree of `v`.
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// Visible in-degree of `v`.
+    fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Number of visible nodes carrying `label`.
+    fn label_count(&self, label: Label) -> usize {
+        self.nodes_with_label(label).len()
+    }
+
+    /// `|G| = |V| + |E|` of the visible graph.
+    fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+}
+
+impl GraphAccess for Graph {
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        Graph::edge_count(self)
+    }
+
+    fn contains_node(&self, v: NodeId) -> bool {
+        Graph::contains_node(self, v)
+    }
+
+    fn label(&self, v: NodeId) -> Label {
+        Graph::label(self, v)
+    }
+
+    fn value(&self, v: NodeId) -> &Value {
+        Graph::value(self, v)
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        Graph::out_neighbors(self, v)
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        Graph::in_neighbors(self, v)
+    }
+
+    fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        Graph::has_edge(self, src, dst)
+    }
+
+    fn nodes_with_label(&self, label: Label) -> &[NodeId] {
+        Graph::nodes_with_label(self, label)
+    }
+
+    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(self.nodes())
+    }
+
+    fn edge_ids(&self) -> Box<dyn Iterator<Item = EdgeId> + '_> {
+        Box::new(self.edges())
+    }
+
+    fn out_degree(&self, v: NodeId) -> usize {
+        Graph::out_degree(self, v)
+    }
+
+    fn in_degree(&self, v: NodeId) -> usize {
+        Graph::in_degree(self, v)
+    }
+
+    fn label_count(&self, label: Label) -> usize {
+        Graph::label_count(self, label)
+    }
+}
+
+/// Reusable buffers a [`FragmentView`] is built into.
+///
+/// One arena serves one view at a time; building a new view overwrites the
+/// previous one's storage (the borrow checker enforces this — a view borrows
+/// the arena for its whole lifetime). Session layers keep a pool of arenas
+/// and hand one to each bounded execution, so per-query fragment
+/// construction reuses capacity instead of allocating.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    /// Fragment nodes (parent ids), sorted ascending.
+    nodes: Vec<NodeId>,
+    /// Bitset over parent node ids: membership in the fragment.
+    membership: Vec<u64>,
+    /// `slot_of[parent_id]` = index into `nodes`; only valid for members.
+    slot_of: Vec<u32>,
+    /// CSR offsets into `out_adj`, one entry per fragment node plus one.
+    out_start: Vec<u32>,
+    /// Concatenated fragment-local out-adjacency, sorted per node.
+    out_adj: Vec<NodeId>,
+    /// CSR offsets into `in_adj`.
+    in_start: Vec<u32>,
+    /// Concatenated fragment-local in-adjacency, sorted per node.
+    in_adj: Vec<NodeId>,
+    /// Fragment nodes regrouped by label (each group sorted by node id).
+    by_label: Vec<NodeId>,
+    /// `(label, start, end)` ranges into `by_label`, sorted by label.
+    label_ranges: Vec<(Label, u32, u32)>,
+    /// Scratch for building `in_adj` from an explicit edge list.
+    edge_scratch: Vec<(NodeId, NodeId)>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears every buffer (keeping capacity) and sizes the membership
+    /// bitset and slot table for `parent_nodes` parent ids.
+    fn reset(&mut self, parent_nodes: usize) {
+        self.nodes.clear();
+        self.out_start.clear();
+        self.out_adj.clear();
+        self.in_start.clear();
+        self.in_adj.clear();
+        self.by_label.clear();
+        self.label_ranges.clear();
+        self.edge_scratch.clear();
+        let words = parent_nodes.div_ceil(64);
+        self.membership.clear();
+        self.membership.resize(words, 0);
+        // `slot_of` entries are only read behind a membership check, so
+        // stale values from a previous fragment never leak.
+        if self.slot_of.len() < parent_nodes {
+            self.slot_of.resize(parent_nodes, 0);
+        }
+    }
+
+    fn set_nodes(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        self.nodes.extend(nodes);
+        self.nodes.sort_unstable();
+        self.nodes.dedup();
+        for (i, &v) in self.nodes.iter().enumerate() {
+            self.membership[v.index() / 64] |= 1 << (v.index() % 64);
+            self.slot_of[v.index()] = i as u32;
+        }
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        self.membership
+            .get(v.index() / 64)
+            .is_some_and(|w| w & (1 << (v.index() % 64)) != 0)
+    }
+
+    /// Fills the adjacency CSR with the *induced* edges: every parent edge
+    /// whose both endpoints are fragment members.
+    fn fill_induced_adjacency(&mut self, graph: &Graph) {
+        for i in 0..self.nodes.len() {
+            let v = self.nodes[i];
+            self.out_start.push(self.out_adj.len() as u32);
+            for &w in graph.out_neighbors(v) {
+                if self.contains(w) {
+                    self.out_adj.push(w);
+                }
+            }
+        }
+        self.out_start.push(self.out_adj.len() as u32);
+        for i in 0..self.nodes.len() {
+            let v = self.nodes[i];
+            self.in_start.push(self.in_adj.len() as u32);
+            for &w in graph.in_neighbors(v) {
+                if self.contains(w) {
+                    self.in_adj.push(w);
+                }
+            }
+        }
+        self.in_start.push(self.in_adj.len() as u32);
+    }
+
+    /// Fills the adjacency CSR from an explicit edge set (ascending by
+    /// `(src, dst)`, endpoints guaranteed to be members).
+    fn fill_explicit_adjacency(&mut self, edges: impl Iterator<Item = (NodeId, NodeId)>) {
+        self.edge_scratch.extend(edges);
+        // Out-adjacency: the edge list is already sorted by (src, dst).
+        let mut cursor = 0usize;
+        for &v in &self.nodes {
+            self.out_start.push(self.out_adj.len() as u32);
+            while cursor < self.edge_scratch.len() && self.edge_scratch[cursor].0 == v {
+                self.out_adj.push(self.edge_scratch[cursor].1);
+                cursor += 1;
+            }
+        }
+        self.out_start.push(self.out_adj.len() as u32);
+        // In-adjacency: re-sort by (dst, src) and walk again.
+        self.edge_scratch.sort_unstable_by_key(|&(s, d)| (d, s));
+        let mut cursor = 0usize;
+        for &v in &self.nodes {
+            self.in_start.push(self.in_adj.len() as u32);
+            while cursor < self.edge_scratch.len() && self.edge_scratch[cursor].1 == v {
+                self.in_adj.push(self.edge_scratch[cursor].0);
+                cursor += 1;
+            }
+        }
+        self.in_start.push(self.in_adj.len() as u32);
+    }
+
+    /// Groups the fragment nodes by label for `nodes_with_label` lookups.
+    fn fill_label_ranges(&mut self, graph: &Graph) {
+        self.by_label.extend_from_slice(&self.nodes);
+        self.by_label.sort_unstable_by_key(|&v| (graph.label(v), v));
+        let mut start = 0usize;
+        while start < self.by_label.len() {
+            let label = graph.label(self.by_label[start]);
+            let mut end = start + 1;
+            while end < self.by_label.len() && graph.label(self.by_label[end]) == label {
+                end += 1;
+            }
+            self.label_ranges.push((label, start as u32, end as u32));
+            start = end;
+        }
+    }
+}
+
+/// A zero-copy view of a fragment `G_Q ⊆ G`.
+///
+/// The view borrows the base [`Graph`] (for labels and attribute values) and
+/// a [`ScratchArena`] holding the fragment's membership bitset and
+/// fragment-local adjacency. Node ids are **parent ids** — matchers running
+/// on the view produce answers directly over `G`, with no remapping.
+///
+/// Build one with [`FragmentView::induced`] (the hot path: fragment edges
+/// are all parent edges between fragment nodes) or
+/// [`FragmentView::from_subgraph`] (honors an explicit [`Subgraph`] edge
+/// set).
+#[derive(Debug, Clone, Copy)]
+pub struct FragmentView<'a> {
+    graph: &'a Graph,
+    arena: &'a ScratchArena,
+}
+
+impl<'a> FragmentView<'a> {
+    /// Builds the view of the subgraph of `graph` *induced* by `nodes`
+    /// (duplicates and ordering of `nodes` don't matter).
+    ///
+    /// # Panics
+    /// Panics if some node id is out of range for `graph`.
+    pub fn induced(graph: &'a Graph, nodes: &[NodeId], arena: &'a mut ScratchArena) -> Self {
+        assert!(
+            nodes.iter().all(|&v| v.index() < Graph::node_count(graph)),
+            "fragment node out of range"
+        );
+        arena.reset(Graph::node_count(graph));
+        arena.set_nodes(nodes.iter().copied());
+        arena.fill_induced_adjacency(graph);
+        arena.fill_label_ranges(graph);
+        FragmentView { graph, arena }
+    }
+
+    /// Builds the view of an explicit [`Subgraph`] of `graph`, preserving
+    /// its exact node and edge sets (which may be sparser than the induced
+    /// ones).
+    ///
+    /// # Panics
+    /// Panics if the fragment references node ids out of range for `graph`.
+    pub fn from_subgraph(
+        graph: &'a Graph,
+        fragment: &Subgraph,
+        arena: &'a mut ScratchArena,
+    ) -> Self {
+        assert!(
+            fragment
+                .nodes()
+                .all(|v| v.index() < Graph::node_count(graph)),
+            "fragment node out of range"
+        );
+        arena.reset(Graph::node_count(graph));
+        arena.set_nodes(fragment.nodes());
+        arena.fill_explicit_adjacency(fragment.edges());
+        arena.fill_label_ranges(graph);
+        FragmentView { graph, arena }
+    }
+
+    /// The base graph this view restricts.
+    pub fn base(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The fragment's nodes (parent ids, ascending).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.arena.nodes.iter().copied()
+    }
+
+    /// The fragment's slot (dense index into [`FragmentView::nodes`]) of a
+    /// parent node, when it is a member.
+    fn slot(&self, v: NodeId) -> Option<usize> {
+        self.arena
+            .contains(v)
+            .then(|| self.arena.slot_of[v.index()] as usize)
+    }
+}
+
+impl GraphAccess for FragmentView<'_> {
+    fn node_count(&self) -> usize {
+        self.arena.nodes.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.arena.out_adj.len()
+    }
+
+    fn contains_node(&self, v: NodeId) -> bool {
+        self.arena.contains(v)
+    }
+
+    fn label(&self, v: NodeId) -> Label {
+        self.graph.label(v)
+    }
+
+    fn value(&self, v: NodeId) -> &Value {
+        self.graph.value(v)
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        match self.slot(v) {
+            Some(i) => {
+                let (s, e) = (self.arena.out_start[i], self.arena.out_start[i + 1]);
+                &self.arena.out_adj[s as usize..e as usize]
+            }
+            None => &[],
+        }
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        match self.slot(v) {
+            Some(i) => {
+                let (s, e) = (self.arena.in_start[i], self.arena.in_start[i + 1]);
+                &self.arena.in_adj[s as usize..e as usize]
+            }
+            None => &[],
+        }
+    }
+
+    fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.out_neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    fn nodes_with_label(&self, label: Label) -> &[NodeId] {
+        match self
+            .arena
+            .label_ranges
+            .binary_search_by_key(&label, |&(l, _, _)| l)
+        {
+            Ok(i) => {
+                let (_, s, e) = self.arena.label_ranges[i];
+                &self.arena.by_label[s as usize..e as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    fn node_ids(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(self.arena.nodes.iter().copied())
+    }
+
+    fn edge_ids(&self) -> Box<dyn Iterator<Item = EdgeId> + '_> {
+        Box::new((0..self.arena.nodes.len()).flat_map(move |i| {
+            let src = self.arena.nodes[i];
+            let (s, e) = (self.arena.out_start[i], self.arena.out_start[i + 1]);
+            self.arena.out_adj[s as usize..e as usize]
+                .iter()
+                .map(move |&dst| EdgeId::new(src, dst))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond_graph() -> Graph {
+        // a0 -> b1, a0 -> c2, b1 -> d3, c2 -> d3, d3 -> a4 (a-labeled again),
+        // plus an isolated e5.
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node("a", Value::Int(0));
+        let b1 = b.add_node("b", Value::Int(1));
+        let c2 = b.add_node("c", Value::Int(2));
+        let d3 = b.add_node("d", Value::Int(3));
+        let a4 = b.add_node("a", Value::Int(4));
+        b.add_node("e", Value::Int(5));
+        b.add_edge(a0, b1).unwrap();
+        b.add_edge(a0, c2).unwrap();
+        b.add_edge(b1, d3).unwrap();
+        b.add_edge(c2, d3).unwrap();
+        b.add_edge(d3, a4).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn graph_implements_graph_access_consistently() {
+        let g = diamond_graph();
+        assert_eq!(GraphAccess::node_count(&g), g.node_count());
+        assert_eq!(GraphAccess::edge_count(&g), g.edge_count());
+        assert_eq!(g.node_ids().count(), 6);
+        assert_eq!(g.edge_ids().count(), 5);
+        assert_eq!(GraphAccess::out_degree(&g, NodeId(0)), 2);
+        assert_eq!(GraphAccess::size(&g), 11);
+        let a = g.interner().get("a").unwrap();
+        assert_eq!(GraphAccess::label_count(&g, a), 2);
+    }
+
+    #[test]
+    fn induced_view_restricts_nodes_and_edges() {
+        let g = diamond_graph();
+        let mut arena = ScratchArena::new();
+        // Fragment {a0, b1, d3}: edges a0->b1 and b1->d3 survive; c2's edges
+        // and d3->a4 do not.
+        let view = FragmentView::induced(&g, &[NodeId(3), NodeId(0), NodeId(1)], &mut arena);
+        assert_eq!(view.node_count(), 3);
+        assert_eq!(view.edge_count(), 2);
+        assert_eq!(view.size(), 5);
+        assert!(view.contains_node(NodeId(0)));
+        assert!(!view.contains_node(NodeId(2)));
+        assert!(!view.contains_node(NodeId(100)));
+        assert_eq!(view.out_neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(view.out_neighbors(NodeId(2)), &[] as &[NodeId]);
+        assert_eq!(view.in_neighbors(NodeId(3)), &[NodeId(1)]);
+        assert!(view.has_edge(NodeId(0), NodeId(1)));
+        assert!(!view.has_edge(NodeId(0), NodeId(2))); // c2 invisible
+        assert!(!view.has_edge(NodeId(3), NodeId(4))); // a4 invisible
+        assert_eq!(view.out_degree(NodeId(1)), 1);
+        assert_eq!(view.in_degree(NodeId(1)), 1);
+        // Labels and values read through to the parent.
+        assert_eq!(view.label(NodeId(3)), g.label(NodeId(3)));
+        assert_eq!(view.value(NodeId(3)), &Value::Int(3));
+        let a = g.interner().get("a").unwrap();
+        assert_eq!(view.nodes_with_label(a), &[NodeId(0)]);
+        let e = g.interner().get("e").unwrap();
+        assert_eq!(view.nodes_with_label(e), &[] as &[NodeId]);
+        assert_eq!(view.label_count(a), 1);
+        let edges: Vec<EdgeId> = view.edge_ids().collect();
+        assert_eq!(
+            edges,
+            vec![
+                EdgeId::new(NodeId(0), NodeId(1)),
+                EdgeId::new(NodeId(1), NodeId(3))
+            ]
+        );
+    }
+
+    #[test]
+    fn from_subgraph_honors_sparser_edge_sets() {
+        let g = diamond_graph();
+        let mut s = Subgraph::new();
+        s.insert_edge(NodeId(0), NodeId(1));
+        s.insert_node(NodeId(3)); // member, but the b1->d3 edge is left out
+        let mut arena = ScratchArena::new();
+        let view = FragmentView::from_subgraph(&g, &s, &mut arena);
+        assert_eq!(view.node_count(), 3);
+        assert_eq!(view.edge_count(), 1);
+        assert!(view.has_edge(NodeId(0), NodeId(1)));
+        // The induced edge b1->d3 exists in the parent but not in the
+        // explicit fragment, so the view must not show it.
+        assert!(!view.has_edge(NodeId(1), NodeId(3)));
+        assert_eq!(view.out_neighbors(NodeId(1)), &[] as &[NodeId]);
+        assert_eq!(view.in_neighbors(NodeId(3)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn induced_view_equals_subgraph_induced() {
+        let g = diamond_graph();
+        let nodes = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let s = Subgraph::induced(&g, nodes);
+        let mut arena = ScratchArena::new();
+        let view = FragmentView::induced(&g, &nodes, &mut arena);
+        assert_eq!(view.node_count(), s.node_count());
+        assert_eq!(view.edge_count(), s.edge_count());
+        for e in view.edge_ids() {
+            assert!(s.contains_edge(e.src, e.dst));
+        }
+    }
+
+    /// The differential oracle: a view over a fragment must present exactly
+    /// the graph [`Subgraph::materialize`] builds, modulo the id remapping
+    /// the materialized path needs and the view avoids.
+    #[test]
+    fn view_iteration_equals_materialized_subgraph() {
+        let g = diamond_graph();
+        let fragments: Vec<Subgraph> = vec![
+            Subgraph::induced(&g, [NodeId(0), NodeId(1), NodeId(3), NodeId(4)]),
+            Subgraph::induced(&g, g.nodes()),
+            Subgraph::induced(&g, [NodeId(5)]),
+            Subgraph::new(),
+            {
+                let mut s = Subgraph::new();
+                s.insert_edge(NodeId(0), NodeId(2));
+                s.insert_node(NodeId(4));
+                s
+            },
+        ];
+        for fragment in &fragments {
+            let m = fragment.materialize(&g);
+            let mut arena = ScratchArena::new();
+            let view = FragmentView::from_subgraph(&g, fragment, &mut arena);
+
+            assert_eq!(view.node_count(), m.graph.node_count());
+            assert_eq!(view.edge_count(), m.graph.edge_count());
+            // Node-by-node: labels, values, degrees and adjacency agree once
+            // local ids are translated back to parent ids.
+            for (local_idx, parent) in m.to_parent.iter().enumerate() {
+                let local = NodeId(local_idx as u32);
+                assert!(view.contains_node(*parent));
+                assert_eq!(view.label(*parent), m.graph.label(local));
+                assert_eq!(view.value(*parent), m.graph.value(local));
+                let out: Vec<NodeId> = m
+                    .graph
+                    .out_neighbors(local)
+                    .iter()
+                    .map(|&w| m.parent_node(w))
+                    .collect();
+                assert_eq!(view.out_neighbors(*parent), out.as_slice());
+                let inc: Vec<NodeId> = m
+                    .graph
+                    .in_neighbors(local)
+                    .iter()
+                    .map(|&w| m.parent_node(w))
+                    .collect();
+                assert_eq!(view.in_neighbors(*parent), inc.as_slice());
+            }
+            // Label lookups agree.
+            for label in g.interner().labels() {
+                let through_view: Vec<NodeId> = view.nodes_with_label(label).to_vec();
+                let mut through_mat: Vec<NodeId> = m
+                    .graph
+                    .nodes_with_label(label)
+                    .iter()
+                    .map(|&v| m.parent_node(v))
+                    .collect();
+                through_mat.sort_unstable();
+                assert_eq!(through_view, through_mat);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuse_rebuilds_cleanly() {
+        let g = diamond_graph();
+        let mut arena = ScratchArena::new();
+        {
+            let view = FragmentView::induced(&g, &[NodeId(0), NodeId(1), NodeId(2)], &mut arena);
+            assert_eq!(view.node_count(), 3);
+            assert!(view.contains_node(NodeId(2)));
+        }
+        // Rebuild with a disjoint fragment: nothing from the first build may
+        // leak through.
+        let view = FragmentView::induced(&g, &[NodeId(3), NodeId(4)], &mut arena);
+        assert_eq!(view.node_count(), 2);
+        assert!(!view.contains_node(NodeId(0)));
+        assert!(!view.contains_node(NodeId(2)));
+        assert!(view.has_edge(NodeId(3), NodeId(4)));
+        assert_eq!(view.out_neighbors(NodeId(3)), &[NodeId(4)]);
+
+        // And duplicates in the node list are deduplicated.
+        let view = FragmentView::induced(&g, &[NodeId(1), NodeId(1)], &mut arena);
+        assert_eq!(view.node_count(), 1);
+        assert_eq!(view.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_nodes_are_rejected() {
+        let g = diamond_graph();
+        let mut arena = ScratchArena::new();
+        let _ = FragmentView::induced(&g, &[NodeId(99)], &mut arena);
+    }
+
+    #[test]
+    fn empty_view_behaves() {
+        let g = diamond_graph();
+        let mut arena = ScratchArena::new();
+        let view = FragmentView::induced(&g, &[], &mut arena);
+        assert_eq!(view.node_count(), 0);
+        assert_eq!(view.edge_count(), 0);
+        assert_eq!(view.node_ids().count(), 0);
+        assert_eq!(view.edge_ids().count(), 0);
+        assert!(!view.contains_node(NodeId(0)));
+        let a = g.interner().get("a").unwrap();
+        assert_eq!(view.nodes_with_label(a), &[] as &[NodeId]);
+    }
+}

@@ -36,9 +36,9 @@ pub mod seed;
 pub mod simulation;
 pub mod vf2;
 
-pub use opt_simulation::opt_simulation_match;
-pub use opt_vf2::{opt_subgraph_match, opt_subgraph_match_with_config};
+pub use opt_simulation::{opt_simulation_match, opt_simulation_match_stats};
+pub use opt_vf2::{opt_subgraph_match, opt_subgraph_match_stats, opt_subgraph_match_with_config};
 pub use result::{Match, MatchSet, SimulationRelation};
-pub use seed::{seeded_candidates, SeedSemantics};
+pub use seed::{seeded_candidates, seeded_candidates_with_stats, SeedSemantics, SeedStats};
 pub use simulation::{simulation_match, SimulationMatcher};
 pub use vf2::{SubgraphMatcher, Vf2Config, Vf2Stats};

@@ -9,7 +9,7 @@
 //! whole graph.
 
 use crate::result::SimulationRelation;
-use crate::seed::{seeded_candidates, SeedSemantics};
+use crate::seed::{seeded_candidates_with_stats, SeedSemantics, SeedStats};
 use crate::simulation::SimulationMatcher;
 use bgpq_access::AccessIndexSet;
 use bgpq_graph::Graph;
@@ -25,10 +25,22 @@ pub fn opt_simulation_match(
     graph: &Graph,
     indices: &AccessIndexSet,
 ) -> SimulationRelation {
-    let candidates = seeded_candidates(pattern, graph, indices, SeedSemantics::Simulation);
-    SimulationMatcher::new(pattern, graph)
+    opt_simulation_match_stats(pattern, graph, indices).0
+}
+
+/// [`opt_simulation_match`] that additionally reports the candidate-seeding
+/// counters ([`SeedStats`]).
+pub fn opt_simulation_match_stats(
+    pattern: &Pattern,
+    graph: &Graph,
+    indices: &AccessIndexSet,
+) -> (SimulationRelation, SeedStats) {
+    let (candidates, seed) =
+        seeded_candidates_with_stats(pattern, graph, indices, SeedSemantics::Simulation);
+    let relation = SimulationMatcher::new(pattern, graph)
         .with_candidates(candidates)
-        .run()
+        .run();
+    (relation, seed)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! runs the search on the fetched fragment `G_Q` instead of `G`.
 
 use crate::result::MatchSet;
-use crate::seed::{seeded_candidates, SeedSemantics};
+use crate::seed::{seeded_candidates_with_stats, SeedSemantics, SeedStats};
 use crate::vf2::{SubgraphMatcher, Vf2Config};
 use bgpq_access::AccessIndexSet;
 use bgpq_graph::Graph;
@@ -33,11 +33,26 @@ pub fn opt_subgraph_match_with_config(
     indices: &AccessIndexSet,
     config: Vf2Config,
 ) -> (MatchSet, crate::vf2::Vf2Stats) {
-    let candidates = seeded_candidates(pattern, graph, indices, SeedSemantics::Isomorphism);
-    SubgraphMatcher::new(pattern, graph)
+    let (matches, vf2, _) = opt_subgraph_match_stats(pattern, graph, indices, config);
+    (matches, vf2)
+}
+
+/// [`opt_subgraph_match_with_config`] that additionally reports the
+/// candidate-seeding counters ([`SeedStats`]), so session layers can surface
+/// `predicate_filtered` uniformly across strategies.
+pub fn opt_subgraph_match_stats(
+    pattern: &Pattern,
+    graph: &Graph,
+    indices: &AccessIndexSet,
+    config: Vf2Config,
+) -> (MatchSet, crate::vf2::Vf2Stats, SeedStats) {
+    let (candidates, seed) =
+        seeded_candidates_with_stats(pattern, graph, indices, SeedSemantics::Isomorphism);
+    let (matches, vf2) = SubgraphMatcher::new(pattern, graph)
         .with_candidates(candidates)
         .with_config(config)
-        .run()
+        .run();
+    (matches, vf2, seed)
 }
 
 #[cfg(test)]

@@ -50,6 +50,15 @@ pub enum SeedSemantics {
 /// (the unrestricted fallback remains sound).
 const MAX_COMBINATIONS: usize = 20_000;
 
+/// Counters describing one candidate-seeding run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedStats {
+    /// Candidate nodes dropped because the pattern node's predicate rejected
+    /// them — the seeding-side analogue of
+    /// `FetchStats::predicate_filtered` in `bgpq-core`.
+    pub predicate_filtered: u64,
+}
+
 /// Computes one sound candidate set per pattern node.
 ///
 /// Nodes that no constraint narrows fall back to the label index of `graph`
@@ -62,15 +71,27 @@ pub fn seeded_candidates(
     indices: &AccessIndexSet,
     semantics: SeedSemantics,
 ) -> Vec<Vec<NodeId>> {
+    seeded_candidates_with_stats(pattern, graph, indices, semantics).0
+}
+
+/// [`seeded_candidates`] that also reports [`SeedStats`] counters.
+pub fn seeded_candidates_with_stats(
+    pattern: &Pattern,
+    graph: &Graph,
+    indices: &AccessIndexSet,
+    semantics: SeedSemantics,
+) -> (Vec<Vec<NodeId>>, SeedStats) {
     let n = pattern.node_count();
     let mut cand: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut known = vec![false; n];
+    let mut stats = SeedStats::default();
 
     // Step 1: global constraints.
     for u in pattern.nodes() {
         if let Some(id) = indices.find_global(pattern.label(u)) {
             let index = indices.get(id).expect("id from find_global");
-            cand[u.index()] = filter_by_predicate(pattern, graph, u, index.global_nodes());
+            cand[u.index()] =
+                filter_by_predicate(pattern, graph, u, index.global_nodes(), &mut stats);
             known[u.index()] = true;
         }
     }
@@ -82,7 +103,9 @@ pub fn seeded_candidates(
             if known[u.index()] {
                 continue;
             }
-            if let Some(nodes) = try_narrow(pattern, graph, indices, semantics, u, &cand, &known) {
+            if let Some(nodes) = try_narrow(
+                pattern, graph, indices, semantics, u, &cand, &known, &mut stats,
+            ) {
                 cand[u.index()] = nodes;
                 known[u.index()] = true;
                 progressed = true;
@@ -96,15 +119,21 @@ pub fn seeded_candidates(
     // Fallback: label-compatible nodes for everything still unseeded.
     for u in pattern.nodes() {
         if !known[u.index()] {
-            cand[u.index()] =
-                filter_by_predicate(pattern, graph, u, graph.nodes_with_label(pattern.label(u)));
+            cand[u.index()] = filter_by_predicate(
+                pattern,
+                graph,
+                u,
+                graph.nodes_with_label(pattern.label(u)),
+                &mut stats,
+            );
         }
     }
-    cand
+    (cand, stats)
 }
 
 /// Attempts to narrow `u` with some constraint of the schema, returning the
 /// sound candidate set on success.
+#[allow(clippy::too_many_arguments)]
 fn try_narrow(
     pattern: &Pattern,
     graph: &Graph,
@@ -113,6 +142,7 @@ fn try_narrow(
     u: PatternNodeId,
     cand: &[Vec<NodeId>],
     known: &[bool],
+    stats: &mut SeedStats,
 ) -> Option<Vec<NodeId>> {
     let pool: Vec<PatternNodeId> = match semantics {
         SeedSemantics::Isomorphism => pattern.neighbors(u),
@@ -149,7 +179,7 @@ fn try_narrow(
         });
         out.sort_unstable();
         out.dedup();
-        return Some(filter_by_predicate(pattern, graph, u, &out));
+        return Some(filter_by_predicate(pattern, graph, u, &out, stats));
     }
     None
 }
@@ -215,12 +245,15 @@ fn filter_by_predicate(
     graph: &Graph,
     u: PatternNodeId,
     nodes: &[NodeId],
+    stats: &mut SeedStats,
 ) -> Vec<NodeId> {
-    nodes
+    let kept: Vec<NodeId> = nodes
         .iter()
         .copied()
         .filter(|&v| pattern.predicate(u).eval(graph.value(v)))
-        .collect()
+        .collect();
+    stats.predicate_filtered += (nodes.len() - kept.len()) as u64;
+    kept
 }
 
 #[cfg(test)]

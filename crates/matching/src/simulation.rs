@@ -21,21 +21,26 @@
 //! the candidate sets cover the maximum relation.
 
 use crate::result::SimulationRelation;
-use bgpq_graph::{Graph, NodeId};
+use bgpq_graph::{Graph, GraphAccess, NodeId};
 use bgpq_pattern::{Pattern, PatternNodeId};
 use std::collections::BTreeSet;
 
 /// Fixpoint matcher computing the maximum graph-simulation relation.
-pub struct SimulationMatcher<'a> {
+///
+/// Generic over [`GraphAccess`], like [`crate::SubgraphMatcher`]: `gsim` and
+/// `optgsim` run it on the whole [`Graph`], the bounded executor `bSim` on a
+/// zero-copy [`FragmentView`](bgpq_graph::FragmentView) of the fetched
+/// fragment.
+pub struct SimulationMatcher<'a, G: GraphAccess = Graph> {
     pattern: &'a Pattern,
-    graph: &'a Graph,
+    graph: &'a G,
     /// Optional externally supplied candidate sets per pattern node.
     candidates: Option<Vec<Vec<NodeId>>>,
 }
 
-impl<'a> SimulationMatcher<'a> {
+impl<'a, G: GraphAccess> SimulationMatcher<'a, G> {
     /// Creates a matcher over the full data graph.
-    pub fn new(pattern: &'a Pattern, graph: &'a Graph) -> Self {
+    pub fn new(pattern: &'a Pattern, graph: &'a G) -> Self {
         SimulationMatcher {
             pattern,
             graph,
@@ -126,8 +131,9 @@ impl<'a> SimulationMatcher<'a> {
 }
 
 /// Computes the maximum graph-simulation relation of `pattern` in `graph`
-/// (the paper's `gsim` baseline).
-pub fn simulation_match(pattern: &Pattern, graph: &Graph) -> SimulationRelation {
+/// (the paper's `gsim` baseline). Accepts any [`GraphAccess`]
+/// implementation.
+pub fn simulation_match<G: GraphAccess>(pattern: &Pattern, graph: &G) -> SimulationRelation {
     SimulationMatcher::new(pattern, graph).run()
 }
 

@@ -18,7 +18,7 @@
 //! (used by `optVF2` and by the bounded executor `bVF2`).
 
 use crate::result::{Match, MatchSet};
-use bgpq_graph::{Graph, NodeId};
+use bgpq_graph::{Graph, GraphAccess, NodeId};
 use bgpq_pattern::{Pattern, PatternNodeId};
 use std::collections::HashSet;
 
@@ -42,17 +42,24 @@ pub struct Vf2Stats {
 }
 
 /// A backtracking subgraph-isomorphism matcher.
-pub struct SubgraphMatcher<'a> {
+///
+/// Generic over [`GraphAccess`]: the same search runs on a whole [`Graph`]
+/// (the `VF2`/`optVF2` baselines) or on a zero-copy
+/// [`FragmentView`](bgpq_graph::FragmentView) of the fetched fragment `G_Q`
+/// (the bounded executor `bVF2`), with answers reported over the ids of
+/// whatever graph it was given.
+pub struct SubgraphMatcher<'a, G: GraphAccess = Graph> {
     pattern: &'a Pattern,
-    graph: &'a Graph,
+    graph: &'a G,
     config: Vf2Config,
-    /// Optional externally supplied candidate sets per pattern node.
+    /// Optional externally supplied candidate sets per pattern node, kept
+    /// sorted and deduplicated for binary-search membership tests.
     candidates: Option<Vec<Vec<NodeId>>>,
 }
 
-impl<'a> SubgraphMatcher<'a> {
+impl<'a, G: GraphAccess> SubgraphMatcher<'a, G> {
     /// Creates a matcher over the full data graph.
-    pub fn new(pattern: &'a Pattern, graph: &'a Graph) -> Self {
+    pub fn new(pattern: &'a Pattern, graph: &'a G) -> Self {
         SubgraphMatcher {
             pattern,
             graph,
@@ -62,9 +69,15 @@ impl<'a> SubgraphMatcher<'a> {
     }
 
     /// Restricts the search to the given candidate sets (one per pattern
-    /// node, indexed by [`PatternNodeId`]).
-    pub fn with_candidates(mut self, candidates: Vec<Vec<NodeId>>) -> Self {
+    /// node, indexed by [`PatternNodeId`]). The sets are treated as sets:
+    /// order and duplicates don't matter, and nodes absent from the graph
+    /// (or, on a fragment view, from the fragment) are ignored.
+    pub fn with_candidates(mut self, mut candidates: Vec<Vec<NodeId>>) -> Self {
         assert_eq!(candidates.len(), self.pattern.node_count());
+        for set in &mut candidates {
+            set.sort_unstable();
+            set.dedup();
+        }
         self.candidates = Some(candidates);
         self
     }
@@ -122,14 +135,14 @@ impl<'a> SubgraphMatcher<'a> {
     /// pattern node `u`, and (when candidate sets are given) belongs to `u`'s
     /// candidate set.
     fn compatible(&self, u: PatternNodeId, v: NodeId) -> bool {
-        if self.graph.label(v) != self.pattern.label(u) {
+        if !self.graph.contains_node(v) || self.graph.label(v) != self.pattern.label(u) {
             return false;
         }
         if !self.pattern.predicate(u).eval(self.graph.value(v)) {
             return false;
         }
         if let Some(cands) = &self.candidates {
-            if !cands[u.index()].contains(&v) {
+            if cands[u.index()].binary_search(&v).is_err() {
                 return false;
             }
         }
@@ -180,8 +193,8 @@ impl<'a> SubgraphMatcher<'a> {
     }
 }
 
-struct SearchState<'m, 'a> {
-    matcher: &'m SubgraphMatcher<'a>,
+struct SearchState<'m, 'a, G: GraphAccess> {
+    matcher: &'m SubgraphMatcher<'a, G>,
     order: Vec<PatternNodeId>,
     assignment: Vec<Option<NodeId>>,
     used: HashSet<NodeId>,
@@ -189,7 +202,7 @@ struct SearchState<'m, 'a> {
     stats: Vf2Stats,
 }
 
-impl SearchState<'_, '_> {
+impl<G: GraphAccess> SearchState<'_, '_, G> {
     fn done(&self) -> bool {
         if self.stats.aborted {
             return true;

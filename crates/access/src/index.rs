@@ -14,7 +14,7 @@
 use crate::constraint::{AccessConstraint, ConstraintId};
 use crate::schema::AccessSchema;
 use bgpq_graph::{Graph, Label, NodeId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Upper bound on the number of `S`-labeled combinations materialized per
 /// target node. Real access constraints have small source fanouts (a movie
@@ -33,8 +33,15 @@ pub struct ConstraintIndex {
     reverse: HashMap<NodeId, Vec<Vec<NodeId>>>,
     /// Largest answer set over all keys.
     max_cardinality: usize,
-    /// True when the per-node combination cap was hit while building.
-    truncated: bool,
+    /// Target nodes whose combination enumeration hit the cap. Tracked per
+    /// node (not as a sticky flag) so that maintenance removing or repairing
+    /// a capped node's contribution leaves the truncation verdict exactly
+    /// where a fresh rebuild would put it.
+    capped_targets: HashSet<NodeId>,
+    /// The per-node combination cap this index was built with. Incremental
+    /// maintenance reuses it so refreshed contributions are enumerated
+    /// exactly like a fresh build's.
+    cap: usize,
 }
 
 impl ConstraintIndex {
@@ -50,7 +57,8 @@ impl ConstraintIndex {
             map: HashMap::new(),
             reverse: HashMap::new(),
             max_cardinality: 0,
-            truncated: false,
+            capped_targets: HashSet::new(),
+            cap,
         };
         if index.constraint.is_global() {
             let nodes = graph.nodes_with_label(index.constraint.target()).to_vec();
@@ -108,9 +116,26 @@ impl ConstraintIndex {
         self.max_cardinality <= self.constraint.bound()
     }
 
-    /// True when the combination cap was hit during the build.
+    /// True when some target node's combination enumeration hit the cap —
+    /// at build time or during an incremental refresh. Maintenance keeps
+    /// this exact: deleting or repairing the offending node clears it, just
+    /// as a fresh rebuild would.
     pub fn is_truncated(&self) -> bool {
-        self.truncated
+        !self.capped_targets.is_empty()
+    }
+
+    /// The per-node combination cap the index was built with (and that
+    /// incremental maintenance keeps honoring).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// True when `target` currently contributes at least one indexed entry —
+    /// the probe incremental maintenance uses to decide whether a node that
+    /// no longer carries the target label (relabeled or deleted) still needs
+    /// its stale contribution removed.
+    pub fn has_contribution(&self, target: NodeId) -> bool {
+        self.reverse.contains_key(&target)
     }
 
     /// Number of distinct keys indexed.
@@ -146,6 +171,7 @@ impl ConstraintIndex {
     /// Removes every occurrence of `target` from the index (used by
     /// incremental maintenance before re-adding its contribution).
     pub(crate) fn remove_target_contribution(&mut self, target: NodeId) {
+        self.capped_targets.remove(&target);
         if let Some(keys) = self.reverse.remove(&target) {
             for key in keys {
                 if let Some(values) = self.map.get_mut(&key) {
@@ -197,7 +223,7 @@ impl ConstraintIndex {
                     extended.push(candidate);
                     next.push(extended);
                     if next.len() >= cap {
-                        self.truncated = true;
+                        self.capped_targets.insert(target);
                         break 'outer;
                     }
                 }
@@ -219,11 +245,13 @@ impl ConstraintIndex {
     }
 
     /// Recomputes the contribution of `target` against `graph` (remove then
-    /// re-add) and refreshes the cached maximum cardinality.
-    pub(crate) fn refresh_target(&mut self, graph: &Graph, target: NodeId, cap: usize) {
+    /// re-add, under the index's own combination cap) and refreshes the
+    /// cached maximum cardinality. Deleted or relabeled nodes end with no
+    /// contribution: a tombstoned slot's label matches no constraint target.
+    pub(crate) fn refresh_target(&mut self, graph: &Graph, target: NodeId) {
         self.remove_target_contribution(target);
         if graph.contains_node(target) && graph.label(target) == self.constraint.target() {
-            self.add_target_contribution(graph, target, cap);
+            self.add_target_contribution(graph, target, self.cap);
         }
         self.recompute_max_cardinality();
     }
@@ -239,9 +267,16 @@ pub struct AccessIndexSet {
 impl AccessIndexSet {
     /// Builds all indices for `schema` over `graph`.
     pub fn build(graph: &Graph, schema: &AccessSchema) -> Self {
+        Self::build_with_cap(graph, schema, DEFAULT_MAX_COMBINATIONS_PER_NODE)
+    }
+
+    /// Builds all indices with an explicit per-node combination cap. The cap
+    /// is remembered by every index, so incremental maintenance refreshes
+    /// contributions under the same cap as a fresh build.
+    pub fn build_with_cap(graph: &Graph, schema: &AccessSchema, cap: usize) -> Self {
         let indices = schema
             .iter()
-            .map(|c| ConstraintIndex::build(graph, c.clone()))
+            .map(|c| ConstraintIndex::build_with_cap(graph, c.clone(), cap))
             .collect();
         AccessIndexSet {
             schema: schema.clone(),

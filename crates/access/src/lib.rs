@@ -42,5 +42,6 @@ pub mod schema;
 pub use constraint::{AccessConstraint, ConstraintId, ConstraintKind};
 pub use discovery::{discover_schema, DiscoveryConfig};
 pub use index::{AccessIndexSet, ConstraintIndex};
+pub use maintenance::{apply_delta, apply_deltas, GraphDelta, MaintenanceStats, TouchedNodes};
 pub use satisfy::{check_schema, Violation};
 pub use schema::AccessSchema;

@@ -14,7 +14,7 @@
 //! node. [`apply_delta`] refreshes exactly those contributions against the
 //! *new* graph.
 
-use crate::index::{AccessIndexSet, DEFAULT_MAX_COMBINATIONS_PER_NODE};
+use crate::index::AccessIndexSet;
 use bgpq_graph::{Graph, NodeId};
 
 /// A single change applied to the underlying data graph.
@@ -29,32 +29,116 @@ pub enum GraphDelta {
     DeleteEdge(NodeId, NodeId),
     /// A node was inserted (possibly followed by `InsertEdge` deltas).
     InsertNode(NodeId),
+    /// A node was deleted. A node deletion implies the deletion of its
+    /// incident edges, whose endpoints' contributions also change, so a
+    /// `DeleteNode` must travel in the same batch as one `DeleteEdge` per
+    /// incident edge of the *old* graph —
+    /// [`Graph::delete_node`](bgpq_graph::Graph::delete_node) returns exactly
+    /// that edge list.
+    DeleteNode(NodeId),
+}
+
+/// The nodes directly touched by one delta (`ΔG`): at most two, returned
+/// without heap allocation — the maintenance hot loop flattens one of these
+/// per delta, so a `Vec` per delta would dominate small-batch costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchedNodes {
+    nodes: [NodeId; 2],
+    len: u8,
+}
+
+impl TouchedNodes {
+    fn one(a: NodeId) -> Self {
+        TouchedNodes {
+            nodes: [a, a],
+            len: 1,
+        }
+    }
+
+    fn two(a: NodeId, b: NodeId) -> Self {
+        TouchedNodes {
+            nodes: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The touched nodes as a slice.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for TouchedNodes {
+    type Target = [NodeId];
+
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for TouchedNodes {
+    type Item = NodeId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<NodeId, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.into_iter().take(self.len as usize)
+    }
 }
 
 impl GraphDelta {
-    /// The nodes directly touched by this delta (`ΔG`).
-    pub fn touched_nodes(&self) -> Vec<NodeId> {
+    /// The nodes directly touched by this delta (`ΔG`), heap-free.
+    pub fn touched_nodes(&self) -> TouchedNodes {
         match *self {
-            GraphDelta::InsertEdge(a, b) | GraphDelta::DeleteEdge(a, b) => vec![a, b],
-            GraphDelta::InsertNode(v) => vec![v],
+            GraphDelta::InsertEdge(a, b) | GraphDelta::DeleteEdge(a, b) => TouchedNodes::two(a, b),
+            GraphDelta::InsertNode(v) | GraphDelta::DeleteNode(v) => TouchedNodes::one(v),
         }
     }
+}
+
+/// What one maintenance call recomputed — the serving layer's observability
+/// into the paper's `O(|ΔG ∪ Nb(ΔG)|)` claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Distinct nodes in `ΔG` (after deduplicating the batch).
+    pub touched_nodes: usize,
+    /// `(constraint, node)` contributions actually recomputed; each refresh
+    /// inspects only that node's neighborhood in the new graph.
+    pub refreshed_contributions: usize,
 }
 
 /// Updates every index of `indices` to reflect `delta`, using `new_graph`
 /// (the graph *after* the change) as ground truth. Only the contributions of
 /// nodes in `ΔG` are recomputed.
-pub fn apply_delta(indices: &mut AccessIndexSet, new_graph: &Graph, delta: &GraphDelta) {
-    apply_deltas(indices, new_graph, std::slice::from_ref(delta));
+pub fn apply_delta(
+    indices: &mut AccessIndexSet,
+    new_graph: &Graph,
+    delta: &GraphDelta,
+) -> MaintenanceStats {
+    apply_deltas(indices, new_graph, std::slice::from_ref(delta))
 }
 
 /// Applies a batch of deltas at once; contributions of each affected node are
-/// refreshed a single time.
-pub fn apply_deltas(indices: &mut AccessIndexSet, new_graph: &Graph, deltas: &[GraphDelta]) {
+/// refreshed a single time per index.
+///
+/// A node is refreshed when it currently carries an index's target label
+/// **or** when it previously contributed to that index — the latter covers
+/// deleted and relabeled nodes, whose stale contributions must be removed
+/// even though their new label no longer matches. Refreshes run under the
+/// combination cap each index was built with, so a maintained index stays
+/// byte-for-byte equivalent to a fresh rebuild even at the cap.
+pub fn apply_deltas(
+    indices: &mut AccessIndexSet,
+    new_graph: &Graph,
+    deltas: &[GraphDelta],
+) -> MaintenanceStats {
     let mut touched: Vec<NodeId> = deltas.iter().flat_map(GraphDelta::touched_nodes).collect();
     touched.sort_unstable();
     touched.dedup();
 
+    let mut stats = MaintenanceStats {
+        touched_nodes: touched.len(),
+        refreshed_contributions: 0,
+    };
     let ids: Vec<_> = indices.iter().map(|(id, _)| id).collect();
     for id in ids {
         let Some(index) = indices.get_mut(id) else {
@@ -66,15 +150,13 @@ pub fn apply_deltas(indices: &mut AccessIndexSet, new_graph: &Graph, deltas: &[G
                 .try_label(node)
                 .map(|l| l == target_label)
                 .unwrap_or(false);
-            // Refresh when the node currently carries the target label, or
-            // when it previously contributed to the index (covers deletions
-            // and label-irrelevant nodes cheaply: refresh is a no-op if it
-            // never contributed).
-            if is_target {
-                index.refresh_target(new_graph, node, DEFAULT_MAX_COMBINATIONS_PER_NODE);
+            if is_target || index.has_contribution(node) {
+                index.refresh_target(new_graph, node);
+                stats.refreshed_contributions += 1;
             }
         }
     }
+    stats
 }
 
 #[cfg(test)]
@@ -161,6 +243,7 @@ mod tests {
                 );
             }
             assert_eq!(kept.max_cardinality(), fresh.max_cardinality());
+            assert_eq!(kept.is_truncated(), fresh.is_truncated());
         }
     }
 
@@ -280,16 +363,150 @@ mod tests {
     #[test]
     fn touched_nodes_reports_delta_support() {
         assert_eq!(
-            GraphDelta::InsertEdge(NodeId(1), NodeId(2)).touched_nodes(),
-            vec![NodeId(1), NodeId(2)]
+            GraphDelta::InsertEdge(NodeId(1), NodeId(2))
+                .touched_nodes()
+                .as_slice(),
+            &[NodeId(1), NodeId(2)]
         );
         assert_eq!(
-            GraphDelta::DeleteEdge(NodeId(3), NodeId(4)).touched_nodes(),
-            vec![NodeId(3), NodeId(4)]
+            GraphDelta::DeleteEdge(NodeId(3), NodeId(4))
+                .touched_nodes()
+                .as_slice(),
+            &[NodeId(3), NodeId(4)]
         );
         assert_eq!(
-            GraphDelta::InsertNode(NodeId(5)).touched_nodes(),
-            vec![NodeId(5)]
+            GraphDelta::InsertNode(NodeId(5)).touched_nodes().as_slice(),
+            &[NodeId(5)]
         );
+        assert_eq!(
+            GraphDelta::DeleteNode(NodeId(6)).touched_nodes().as_slice(),
+            &[NodeId(6)]
+        );
+        // The iterator form matches the slice form and allocates nothing.
+        let collected: Vec<NodeId> = GraphDelta::InsertEdge(NodeId(1), NodeId(2))
+            .touched_nodes()
+            .into_iter()
+            .collect();
+        assert_eq!(collected, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn node_deletion_matches_full_rebuild() {
+        let f = fixture();
+        let old = build_graph(&f.edges, 0);
+        let schema = schema_for(&old);
+        let mut indices = AccessIndexSet::build(&old, &schema);
+
+        // Delete movie1 through the mutation API: its (year, award) key and
+        // its movie→actor contribution must disappear, and the global movie
+        // index must drop it.
+        let mut new = old.clone();
+        let removed = new.delete_node(f.nodes[3]).unwrap();
+        let mut deltas: Vec<GraphDelta> = removed
+            .iter()
+            .map(|e| GraphDelta::DeleteEdge(e.src, e.dst))
+            .collect();
+        deltas.push(GraphDelta::DeleteNode(f.nodes[3]));
+        let stats = apply_deltas(&mut indices, &new, &deltas);
+        // movie1 plus its 3 neighbors (year1, award, actor1).
+        assert_eq!(stats.touched_nodes, 4);
+        assert!(stats.refreshed_contributions > 0);
+        assert_equivalent_to_rebuild(&indices, &new);
+        let global = indices.get(ConstraintId(2)).unwrap();
+        assert_eq!(global.global_nodes().len(), 1);
+        assert!(!global.has_contribution(f.nodes[3]));
+    }
+
+    #[test]
+    fn maintenance_respects_the_build_cap() {
+        // A hub with x/y source pairs exceeding a tiny cap: refreshing the
+        // hub must re-enumerate under the *build* cap, exactly like a fresh
+        // build with that cap would.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("hub", Value::Null);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..8 {
+            let x = b.add_node("x", Value::Int(i));
+            let y = b.add_node("y", Value::Int(i));
+            b.add_edge(x, hub).unwrap();
+            b.add_edge(y, hub).unwrap();
+            xs.push(x);
+            ys.push(y);
+        }
+        let mut g = b.build();
+        let x_l = g.interner().get("x").unwrap();
+        let y_l = g.interner().get("y").unwrap();
+        let hub_l = g.interner().get("hub").unwrap();
+        let schema =
+            AccessSchema::from_constraints([AccessConstraint::new([x_l, y_l], hub_l, 100)]);
+        let cap = 10;
+        let mut indices = AccessIndexSet::build_with_cap(&g, &schema, cap);
+        assert!(indices.get(ConstraintId(0)).unwrap().is_truncated());
+        assert_eq!(indices.get(ConstraintId(0)).unwrap().cap(), cap);
+
+        // Mutate the hub's neighborhood and maintain incrementally.
+        let x_new = g.insert_node("x", Value::Int(99));
+        g.insert_edge(x_new, hub).unwrap();
+        g.delete_edge(xs[0], hub).unwrap();
+        let stats = apply_deltas(
+            &mut indices,
+            &g,
+            &[
+                GraphDelta::InsertNode(x_new),
+                GraphDelta::InsertEdge(x_new, hub),
+                GraphDelta::DeleteEdge(xs[0], hub),
+            ],
+        );
+        assert!(stats.refreshed_contributions > 0);
+
+        // The maintained index equals a fresh build under the same cap.
+        let rebuilt = AccessIndexSet::build_with_cap(&g, &schema, cap);
+        let kept = indices.get(ConstraintId(0)).unwrap();
+        let fresh = rebuilt.get(ConstraintId(0)).unwrap();
+        assert_eq!(kept.key_count(), fresh.key_count());
+        assert_eq!(kept.size(), fresh.size());
+        for (key, answers) in fresh.entries() {
+            assert_eq!(kept.common_neighbors(key), answers);
+        }
+        assert_eq!(kept.max_cardinality(), fresh.max_cardinality());
+        assert_eq!(kept.is_truncated(), fresh.is_truncated());
+    }
+
+    #[test]
+    fn truncation_verdict_tracks_the_offending_node() {
+        // One hub over the cap; deleting the hub must clear the truncation
+        // verdict exactly like a rebuild on the new graph would.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("hub", Value::Null);
+        for i in 0..6 {
+            let x = b.add_node("x", Value::Int(i));
+            let y = b.add_node("y", Value::Int(i));
+            b.add_edge(x, hub).unwrap();
+            b.add_edge(y, hub).unwrap();
+        }
+        let mut g = b.build();
+        let x_l = g.interner().get("x").unwrap();
+        let y_l = g.interner().get("y").unwrap();
+        let hub_l = g.interner().get("hub").unwrap();
+        let schema = AccessSchema::from_constraints([AccessConstraint::new([x_l, y_l], hub_l, 1)]);
+        let mut indices = AccessIndexSet::build_with_cap(&g, &schema, 8);
+        assert!(indices.get(ConstraintId(0)).unwrap().is_truncated());
+
+        let mut deltas: Vec<GraphDelta> = g
+            .delete_node(hub)
+            .unwrap()
+            .iter()
+            .map(|e| GraphDelta::DeleteEdge(e.src, e.dst))
+            .collect();
+        deltas.push(GraphDelta::DeleteNode(hub));
+        apply_deltas(&mut indices, &g, &deltas);
+
+        assert!(
+            !indices.get(ConstraintId(0)).unwrap().is_truncated(),
+            "removing the capped node must clear the truncation verdict"
+        );
+        let rebuilt = AccessIndexSet::build_with_cap(&g, &schema, 8);
+        assert!(!rebuilt.get(ConstraintId(0)).unwrap().is_truncated());
     }
 }

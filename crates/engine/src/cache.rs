@@ -16,11 +16,23 @@
 //! stamp — `O(capacity)` per eviction, which for the intended capacities
 //! (tens to a few thousand plans, each a handful of steps) is noise
 //! compared to one avoided planning run.
+//!
+//! Under a **mutable** graph the planner's outcome is no longer eternal: an
+//! update can create or destroy the index coverage a plan (or an unbounded
+//! verdict) depends on. Slots are therefore keyed by *(pattern fingerprint,
+//! semantics, snapshot version)*: a probe only ever sees outcomes planned
+//! against its own version, entries of **different versions coexist** (a
+//! reader pinned to an old snapshot keeps its cache locality instead of
+//! fighting the current version's readers slot for slot), and re-planning a
+//! pattern at a newer version retires that pattern's strictly-older entries,
+//! counted as *invalidations*. A [`SharedPlanCache`] can be handed to the
+//! engines of successive snapshots so the chain shares one bounded cache
+//! without ever serving a stale plan.
 
 use bgpq_core::{PlanError, QueryPlan, Semantics};
 use bgpq_pattern::PatternFingerprint;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Cache key: what the planner's outcome depends on, given a fixed schema.
 pub(crate) type PlanKey = (PatternFingerprint, Semantics);
@@ -36,11 +48,47 @@ struct Slot {
 /// A bounded least-recently-used cache of planning outcomes.
 pub(crate) struct PlanCache {
     capacity: usize,
-    slots: HashMap<PlanKey, Slot>,
+    /// Keyed by (pattern fingerprint + semantics, snapshot version).
+    slots: HashMap<(PlanKey, u64), Slot>,
     clock: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    invalidations: u64,
+}
+
+/// A plan cache that can be shared by the engines of successive graph
+/// snapshots (see [`Engine::with_indices_at_version`](crate::Engine::with_indices_at_version)).
+///
+/// Cloning is cheap and shares the underlying cache. Entries are validated
+/// against the probing engine's snapshot version, so sharing never serves a
+/// plan computed against another version's index coverage.
+#[derive(Clone)]
+pub struct SharedPlanCache(pub(crate) Arc<Mutex<PlanCache>>);
+
+impl SharedPlanCache {
+    /// Creates a shared cache holding at most `capacity` outcomes
+    /// (`0` disables caching).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedPlanCache(Arc::new(Mutex::new(PlanCache::new(capacity))))
+    }
+}
+
+impl Default for SharedPlanCache {
+    /// A shared cache with the engine's default capacity.
+    fn default() -> Self {
+        Self::with_capacity(crate::engine::DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for SharedPlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cache = self.0.lock().expect("plan cache poisoned");
+        f.debug_struct("SharedPlanCache")
+            .field("capacity", &cache.capacity)
+            .field("len", &cache.len())
+            .finish()
+    }
 }
 
 impl PlanCache {
@@ -54,20 +102,25 @@ impl PlanCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            invalidations: 0,
         }
     }
 
-    /// Looks `key` up, counting a hit or a miss. Returns `None` both on a
+    /// Looks `key` up for an engine at `version`, counting a hit or a miss.
+    /// Only an outcome planned against exactly `version` is returned — a
+    /// commit may have changed the index coverage the plan (or unbounded
+    /// verdict) depends on, so other versions' slots are invisible (though
+    /// retained for the readers pinned to them). Returns `None` both on a
     /// miss and when caching is disabled — the caller distinguishes the two
     /// via [`PlanCache::is_enabled`] and is expected to plan *outside* the
     /// cache lock, then [`PlanCache::insert`] the outcome: holding the lock
     /// across a planning run would serialize unrelated requests behind it.
-    pub(crate) fn probe(&mut self, key: &PlanKey) -> Option<PlanOutcome> {
+    pub(crate) fn probe(&mut self, key: &PlanKey, version: u64) -> Option<PlanOutcome> {
         if self.capacity == 0 {
             return None;
         }
         self.clock += 1;
-        match self.slots.get_mut(key) {
+        match self.slots.get_mut(&(*key, version)) {
             Some(slot) => {
                 slot.last_used = self.clock;
                 self.hits += 1;
@@ -80,15 +133,32 @@ impl PlanCache {
         }
     }
 
-    /// Caches `outcome` under `key`, evicting the least-recently-used entry
-    /// when full. Re-inserting a present key (two threads raced on the same
-    /// miss) replaces the slot without eviction. No-op when disabled.
-    pub(crate) fn insert(&mut self, key: PlanKey, outcome: PlanOutcome) {
+    /// Caches `outcome` under `key` for `version`, evicting the
+    /// least-recently-used entry when full. Inserting at a version retires
+    /// the pattern's entries of **strictly older** versions (counted as
+    /// invalidations): they are superseded for every reader that will still
+    /// probe them at that version or later, while a pinned reader's
+    /// re-insert at an *older* version leaves newer entries untouched — the
+    /// two populations coexist instead of evicting each other. Re-inserting
+    /// a present key (two threads raced on the same miss) replaces the slot
+    /// without eviction. No-op when disabled.
+    pub(crate) fn insert(&mut self, key: PlanKey, version: u64, outcome: PlanOutcome) {
         if self.capacity == 0 {
             return;
         }
         self.clock += 1;
-        if !self.slots.contains_key(&key) && self.slots.len() >= self.capacity {
+        let stale: Vec<(PlanKey, u64)> = self
+            .slots
+            .keys()
+            .filter(|&&(k, v)| k == key && v < version)
+            .copied()
+            .collect();
+        for old in stale {
+            self.slots.remove(&old);
+            self.invalidations += 1;
+        }
+        let full_key = (key, version);
+        if !self.slots.contains_key(&full_key) && self.slots.len() >= self.capacity {
             if let Some(&lru) = self
                 .slots
                 .iter()
@@ -100,7 +170,7 @@ impl PlanCache {
             }
         }
         self.slots.insert(
-            key,
+            full_key,
             Slot {
                 outcome,
                 last_used: self.clock,
@@ -128,6 +198,10 @@ impl PlanCache {
     pub(crate) fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    pub(crate) fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
 }
 
 #[cfg(test)]
@@ -145,11 +219,11 @@ mod tests {
         })
     }
 
-    /// Probe-then-insert, the way the engine drives the cache.
+    /// Probe-then-insert at version 0, the way the engine drives the cache.
     fn fill(cache: &mut PlanCache, k: PlanKey) -> Option<PlanOutcome> {
-        let probed = cache.probe(&k);
+        let probed = cache.probe(&k, 0);
         if probed.is_none() && cache.is_enabled() {
-            cache.insert(k, Arc::new(empty_plan(k.1)));
+            cache.insert(k, 0, Arc::new(empty_plan(k.1)));
         }
         probed
     }
@@ -198,19 +272,19 @@ mod tests {
         fill(&mut cache, key(1));
         fill(&mut cache, key(2));
         // Two threads raced on key 2's miss; the loser re-inserts.
-        cache.insert(key(2), Arc::new(empty_plan(Semantics::Isomorphism)));
+        cache.insert(key(2), 0, Arc::new(empty_plan(Semantics::Isomorphism)));
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.len(), 2);
-        assert!(cache.probe(&key(1)).is_some(), "key 1 must survive");
+        assert!(cache.probe(&key(1), 0).is_some(), "key 1 must survive");
     }
 
     #[test]
     fn zero_capacity_bypasses() {
         let mut cache = PlanCache::new(0);
         assert!(!cache.is_enabled());
-        assert!(cache.probe(&key(5)).is_none());
-        cache.insert(key(5), Arc::new(empty_plan(Semantics::Isomorphism)));
-        assert!(cache.probe(&key(5)).is_none());
+        assert!(cache.probe(&key(5), 0).is_none());
+        cache.insert(key(5), 0, Arc::new(empty_plan(Semantics::Isomorphism)));
+        assert!(cache.probe(&key(5), 0).is_none());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0, "bypass counts neither hit nor miss");
@@ -220,15 +294,52 @@ mod tests {
     fn negative_outcomes_are_cached() {
         let mut cache = PlanCache::new(2);
         let k = key(7);
-        assert!(cache.probe(&k).is_none());
+        assert!(cache.probe(&k, 0).is_none());
         cache.insert(
             k,
+            0,
             Arc::new(Err(PlanError {
                 semantics: Semantics::Isomorphism,
                 uncovered: vec![],
             })),
         );
-        let cached = cache.probe(&k).expect("unbounded verdicts are memoized");
+        let cached = cache.probe(&k, 0).expect("unbounded verdicts are memoized");
         assert!(cached.is_err());
+    }
+
+    #[test]
+    fn version_bump_invalidates_stale_slots() {
+        let mut cache = PlanCache::new(4);
+        let k = key(3);
+        cache.insert(k, 0, Arc::new(empty_plan(Semantics::Isomorphism)));
+        assert!(cache.probe(&k, 0).is_some());
+        // A newer snapshot version must not see the version-0 plan; the slot
+        // is retained for readers still pinned to version 0.
+        assert!(cache.probe(&k, 1).is_none());
+        assert_eq!(cache.invalidations(), 0);
+        assert_eq!(cache.len(), 1);
+        // Re-planning at version 1 retires the superseded version-0 slot.
+        cache.insert(k, 1, Arc::new(empty_plan(Semantics::Isomorphism)));
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.probe(&k, 1).is_some());
+    }
+
+    #[test]
+    fn pinned_old_version_coexists_with_current() {
+        let mut cache = PlanCache::new(4);
+        let k = key(4);
+        cache.insert(k, 1, Arc::new(empty_plan(Semantics::Isomorphism)));
+        // A reader pinned to version 0 misses, re-plans, and re-inserts at
+        // its own version without touching the current version's slot...
+        assert!(cache.probe(&k, 0).is_none());
+        cache.insert(k, 0, Arc::new(empty_plan(Semantics::Isomorphism)));
+        assert_eq!(cache.invalidations(), 0, "older inserts retire nothing");
+        assert_eq!(cache.len(), 2);
+        // ...so from here on both populations hit steadily (no ping-pong).
+        assert!(cache.probe(&k, 0).is_some());
+        assert!(cache.probe(&k, 1).is_some());
+        assert!(cache.probe(&k, 0).is_some());
+        assert_eq!(cache.misses(), 1);
     }
 }

@@ -1,6 +1,6 @@
 //! The session-oriented engine.
 
-use crate::cache::{PlanCache, PlanOutcome};
+use crate::cache::{PlanOutcome, SharedPlanCache};
 use crate::error::BgpqError;
 use crate::request::QueryRequest;
 use crate::response::{Explain, QueryResponse};
@@ -12,6 +12,9 @@ use bgpq_graph::ScratchArena;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// The version of a standalone engine's (only) snapshot.
+pub const INITIAL_SNAPSHOT_VERSION: u64 = 0;
 
 /// Default number of planning outcomes the engine memoizes.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
@@ -77,8 +80,12 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
 pub struct Engine {
     graph: bgpq_graph::Graph,
     indices: AccessIndexSet,
+    /// The snapshot version this engine serves. Standalone engines stay at
+    /// [`INITIAL_SNAPSHOT_VERSION`]; a serving layer derives one engine per
+    /// graph snapshot with monotonically increasing versions.
+    version: u64,
     strategies: Vec<Box<dyn Strategy>>,
-    cache: Mutex<PlanCache>,
+    cache: SharedPlanCache,
     /// Pool of fragment-construction arenas, one checked out per in-flight
     /// bounded execution; buffers are reused across queries so steady-state
     /// fragment builds allocate nothing.
@@ -99,11 +106,33 @@ impl Engine {
     /// Creates an engine from pre-built indices (e.g. indices maintained
     /// incrementally by `bgpq_access::maintenance` across graph updates).
     pub fn with_indices(graph: bgpq_graph::Graph, indices: AccessIndexSet) -> Self {
+        Self::with_indices_at_version(
+            graph,
+            indices,
+            INITIAL_SNAPSHOT_VERSION,
+            SharedPlanCache::default(),
+        )
+    }
+
+    /// Creates the engine of one **graph snapshot** in a serving chain: the
+    /// graph and indices as of `version`, plus a plan cache shared with the
+    /// engines of the other snapshots. Cached plans (and unbounded verdicts)
+    /// are keyed by snapshot version, so a version bump — which may change
+    /// the schema's index coverage — makes them re-derive instead of being
+    /// served stale, while engines of different versions coexist in the
+    /// shared cache.
+    pub fn with_indices_at_version(
+        graph: bgpq_graph::Graph,
+        indices: AccessIndexSet,
+        version: u64,
+        cache: SharedPlanCache,
+    ) -> Self {
         Engine {
             graph,
             indices,
+            version,
             strategies: vec![Box::new(Bounded), Box::new(IndexSeeded), Box::new(Baseline)],
-            cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            cache,
             scratch: Mutex::new(Vec::new()),
             queries: AtomicU64::new(0),
             bounded_runs: AtomicU64::new(0),
@@ -112,12 +141,19 @@ impl Engine {
     }
 
     /// Replaces the plan cache with one of the given capacity (`0` disables
-    /// caching). Existing cached plans and cache counters are dropped.
+    /// caching). Existing cached plans and cache counters are dropped (the
+    /// new cache is private to this engine).
     pub fn with_plan_cache_capacity(self, capacity: usize) -> Self {
         Engine {
-            cache: Mutex::new(PlanCache::new(capacity)),
+            cache: SharedPlanCache::with_capacity(capacity),
             ..self
         }
+    }
+
+    /// The snapshot version this engine serves
+    /// ([`INITIAL_SNAPSHOT_VERSION`] for standalone engines).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The data graph the engine serves queries over.
@@ -187,6 +223,7 @@ impl Engine {
             .map_or(0, |fetch| fetch.fragment_build_nanos);
 
         let stats = ExecStats {
+            snapshot_version: self.version,
             plan_nanos,
             fragment_build_nanos,
             match_nanos: exec_nanos.saturating_sub(fragment_build_nanos),
@@ -214,14 +251,16 @@ impl Engine {
     /// Lifetime counters: queries served, bounded runs, fallbacks and plan
     /// cache behavior.
     pub fn stats(&self) -> EngineStats {
-        let cache = self.cache.lock().expect("plan cache poisoned");
+        let cache = self.cache.0.lock().expect("plan cache poisoned");
         EngineStats {
+            snapshot_version: self.version,
             queries: self.queries.load(Ordering::Relaxed),
             bounded_runs: self.bounded_runs.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             plan_cache_hits: cache.hits(),
             plan_cache_misses: cache.misses(),
             plan_cache_evictions: cache.evictions(),
+            plan_cache_invalidations: cache.invalidations(),
             cached_plans: cache.len(),
         }
     }
@@ -265,8 +304,8 @@ impl Engine {
     fn planning_outcome(&self, request: &QueryRequest) -> (PlanOutcome, CacheOutcome) {
         let key = (request.pattern().fingerprint(), request.semantics());
         let (enabled, probed) = {
-            let mut cache = self.cache.lock().expect("plan cache poisoned");
-            (cache.is_enabled(), cache.probe(&key))
+            let mut cache = self.cache.0.lock().expect("plan cache poisoned");
+            (cache.is_enabled(), cache.probe(&key, self.version))
         };
         if let Some(outcome) = probed {
             return (outcome, CacheOutcome::Hit);
@@ -279,10 +318,11 @@ impl Engine {
         if !enabled {
             return (outcome, CacheOutcome::Bypass);
         }
-        self.cache
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(key, Arc::clone(&outcome));
+        self.cache.0.lock().expect("plan cache poisoned").insert(
+            key,
+            self.version,
+            Arc::clone(&outcome),
+        );
         (outcome, CacheOutcome::Miss)
     }
 

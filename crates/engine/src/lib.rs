@@ -43,7 +43,8 @@ pub mod response;
 pub mod stats;
 pub mod strategy;
 
-pub use engine::{Engine, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use cache::SharedPlanCache;
+pub use engine::{Engine, DEFAULT_PLAN_CACHE_CAPACITY, INITIAL_SNAPSHOT_VERSION};
 pub use error::BgpqError;
 pub use request::{QueryRequest, QueryRequestBuilder};
 pub use response::{Explain, QueryAnswer, QueryResponse};
@@ -53,8 +54,9 @@ pub use strategy::{Baseline, Bounded, IndexSeeded, Strategy, StrategyKind, Strat
 // The workspace's request-facing surface, re-exported so applications can
 // depend on `bgpq-engine` alone.
 pub use bgpq_access::{
-    check_schema, discover_schema, AccessConstraint, AccessIndexSet, AccessSchema, ConstraintId,
-    ConstraintIndex, DiscoveryConfig,
+    apply_delta, apply_deltas, check_schema, discover_schema, AccessConstraint, AccessIndexSet,
+    AccessSchema, ConstraintId, ConstraintIndex, DiscoveryConfig, GraphDelta, MaintenanceStats,
+    TouchedNodes,
 };
 pub use bgpq_core::{
     bounded_simulation_match, bounded_simulation_match_planned, bounded_subgraph_match,

@@ -31,6 +31,10 @@ impl fmt::Display for CacheOutcome {
 /// simulation run has no matcher step counter.
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
+    /// The snapshot version (epoch) of the engine that served the request —
+    /// lets a caller of a concurrently-updated serving layer attribute an
+    /// answer to the exact graph version it was computed on.
+    pub snapshot_version: u64,
     /// Nanoseconds spent deciding boundedness / retrieving the plan
     /// (including the cache probe).
     pub plan_nanos: u64,
@@ -82,6 +86,9 @@ impl ExecStats {
 /// Counters over an [`Engine`](crate::Engine)'s lifetime.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
+    /// The snapshot version (epoch) this engine serves; `0` for standalone
+    /// engines, the commit epoch for engines in a serving snapshot chain.
+    pub snapshot_version: u64,
     /// Requests executed (successful or not).
     pub queries: u64,
     /// Requests answered by the bounded strategy.
@@ -95,6 +102,10 @@ pub struct EngineStats {
     pub plan_cache_misses: u64,
     /// Plans evicted to respect the cache capacity.
     pub plan_cache_evictions: u64,
+    /// Cached planning outcomes dropped because they were computed against a
+    /// different snapshot version than the probing engine's — the cost of a
+    /// version bump under a shared plan cache.
+    pub plan_cache_invalidations: u64,
     /// Plans (or negative outcomes) currently cached.
     pub cached_plans: usize,
 }

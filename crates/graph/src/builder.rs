@@ -145,6 +145,7 @@ impl GraphBuilder {
             inc,
             edge_count: self.edges.len(),
             label_index,
+            dead_count: 0,
         }
     }
 }

@@ -12,12 +12,24 @@
 //!   an `S`-labeled node set that carry label `l`).
 //!
 //! Construction goes through [`crate::GraphBuilder`], which performs the
-//! necessary sorting and deduplication once.
+//! necessary sorting and deduplication once. For serving scenarios the graph
+//! additionally supports **in-place mutation** ([`Graph::insert_node`],
+//! [`Graph::insert_edge`], [`Graph::delete_edge`], [`Graph::delete_node`])
+//! that keeps the adjacency lists sorted and the embedded [`LabelIndex`] in
+//! sync, so access-constraint indices can be maintained incrementally
+//! against the mutated graph instead of rebuilt.
 
+use crate::error::GraphError;
 use crate::label::{Label, LabelInterner};
 use crate::label_index::LabelIndex;
 use crate::value::Value;
+use crate::Result;
 use std::fmt;
+
+/// Sentinel label carried by deleted node slots. It is never interned, so it
+/// compares unequal to every real label and [`LabelIndex`] lookups for it
+/// return the empty slice.
+pub(crate) const TOMBSTONE: Label = Label(u32::MAX);
 
 /// Identifier of a node in a [`Graph`]; contiguous from `0`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -74,6 +86,9 @@ pub struct Graph {
     pub(crate) inc: Vec<Vec<NodeId>>,
     pub(crate) edge_count: usize,
     pub(crate) label_index: LabelIndex,
+    /// Number of deleted (tombstoned) node slots; node ids stay contiguous
+    /// so deletion marks the slot instead of shifting ids.
+    pub(crate) dead_count: usize,
 }
 
 impl Graph {
@@ -87,6 +102,7 @@ impl Graph {
             inc: Vec::new(),
             edge_count: 0,
             label_index: LabelIndex::default(),
+            dead_count: 0,
         }
     }
 
@@ -246,10 +262,10 @@ impl Graph {
     /// Common neighbors of every node in `nodes` (in either direction).
     ///
     /// Following the paper, the common neighbors of the empty set are **all**
-    /// nodes of the graph.
+    /// (live) nodes of the graph.
     pub fn common_neighbors(&self, nodes: &[NodeId]) -> Vec<NodeId> {
         if nodes.is_empty() {
-            return self.nodes().collect();
+            return self.nodes().filter(|&v| self.is_live(v)).collect();
         }
         // Start from the node with the smallest neighborhood to keep the
         // intersection cheap.
@@ -276,6 +292,135 @@ impl Graph {
     /// Total number of distinct labels that appear on at least one node.
     pub fn distinct_label_count(&self) -> usize {
         self.label_index.distinct_labels()
+    }
+
+    /// True when `v` is a node slot that has not been deleted.
+    ///
+    /// Node ids are contiguous and stable: [`Graph::delete_node`] tombstones
+    /// the slot instead of shifting ids, so `contains_node` keeps answering
+    /// true for deleted slots while `is_live` does not.
+    pub fn is_live(&self, v: NodeId) -> bool {
+        self.labels.get(v.index()).is_some_and(|&l| l != TOMBSTONE)
+    }
+
+    /// Number of live (non-deleted) nodes.
+    pub fn live_node_count(&self) -> usize {
+        self.labels.len() - self.dead_count
+    }
+}
+
+/// In-place mutation, the write side of the serving subsystem.
+///
+/// These operations keep every invariant the read API relies on: adjacency
+/// lists stay sorted and deduplicated, `edge_count` stays exact, and the
+/// embedded [`LabelIndex`] tracks label membership. Deleting a node
+/// tombstones its slot (ids never shift): the slot keeps existing for
+/// [`Graph::contains_node`], but carries a reserved sentinel label that
+/// matches no interned label, has no adjacency, and is absent from the label
+/// index — so matchers, which seed candidates through the label index, never
+/// see deleted nodes.
+impl Graph {
+    /// Appends a node labeled `label_name` (interned on the fly), returning
+    /// its id.
+    pub fn insert_node(&mut self, label_name: &str, value: Value) -> NodeId {
+        let label = self.interner.intern(label_name);
+        self.insert_node_labeled(label, value)
+    }
+
+    /// Appends a node with an already-interned label, returning its id.
+    ///
+    /// # Panics
+    /// Panics when `label` is the reserved tombstone sentinel.
+    pub fn insert_node_labeled(&mut self, label: Label, value: Value) -> NodeId {
+        assert!(label != TOMBSTONE, "the tombstone label cannot be assigned");
+        let id = NodeId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.values.push(value);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        self.label_index.insert(label, id);
+        id
+    }
+
+    /// Inserts the directed edge `(src, dst)`. Returns `Ok(true)` when the
+    /// edge is new, `Ok(false)` when it already existed (the graph stays
+    /// simple), and an error when either endpoint is missing or deleted.
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> Result<bool> {
+        if !self.is_live(src) || !self.is_live(dst) {
+            return Err(GraphError::EndpointNotFound {
+                src: src.0 as u64,
+                dst: dst.0 as u64,
+            });
+        }
+        match self.out[src.index()].binary_search(&dst) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.out[src.index()].insert(pos, dst);
+                let ipos = self.inc[dst.index()]
+                    .binary_search(&src)
+                    .expect_err("out and in adjacency agree on membership");
+                self.inc[dst.index()].insert(ipos, src);
+                self.edge_count += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Deletes the directed edge `(src, dst)`. Returns `Ok(true)` when the
+    /// edge existed, `Ok(false)` when it did not, and an error when either
+    /// endpoint id is out of range.
+    pub fn delete_edge(&mut self, src: NodeId, dst: NodeId) -> Result<bool> {
+        if !self.contains_node(src) || !self.contains_node(dst) {
+            return Err(GraphError::EndpointNotFound {
+                src: src.0 as u64,
+                dst: dst.0 as u64,
+            });
+        }
+        match self.out[src.index()].binary_search(&dst) {
+            Err(_) => Ok(false),
+            Ok(pos) => {
+                self.out[src.index()].remove(pos);
+                let ipos = self.inc[dst.index()]
+                    .binary_search(&src)
+                    .expect("out and in adjacency agree on membership");
+                self.inc[dst.index()].remove(ipos);
+                self.edge_count -= 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Deletes node `v`: removes every incident edge, unregisters the node
+    /// from the label index and tombstones its slot. Returns the removed
+    /// edges so callers maintaining derived indices can account for the full
+    /// change `ΔG` (the edges plus the node).
+    ///
+    /// Errors when `v` is out of range or already deleted.
+    pub fn delete_node(&mut self, v: NodeId) -> Result<Vec<EdgeId>> {
+        if !self.is_live(v) {
+            return Err(GraphError::NodeNotFound(v.0 as u64));
+        }
+        let mut removed = Vec::new();
+        for dst in std::mem::take(&mut self.out[v.index()]) {
+            let pos = self.inc[dst.index()]
+                .binary_search(&v)
+                .expect("out and in adjacency agree on membership");
+            self.inc[dst.index()].remove(pos);
+            removed.push(EdgeId::new(v, dst));
+        }
+        for src in std::mem::take(&mut self.inc[v.index()]) {
+            let pos = self.out[src.index()]
+                .binary_search(&v)
+                .expect("out and in adjacency agree on membership");
+            self.out[src.index()].remove(pos);
+            removed.push(EdgeId::new(src, v));
+        }
+        self.edge_count -= removed.len();
+        self.label_index.remove(self.labels[v.index()], v);
+        self.labels[v.index()] = TOMBSTONE;
+        self.values[v.index()] = Value::Null;
+        self.dead_count += 1;
+        Ok(removed)
     }
 }
 
@@ -424,6 +569,76 @@ mod tests {
         assert_eq!(g.nodes().count(), 0);
         assert_eq!(g.edges().count(), 0);
         assert!(g.common_neighbors(&[]).is_empty());
+    }
+
+    #[test]
+    fn insert_node_and_edge_maintain_indices() {
+        let (mut g, ids) = movie_graph();
+        let movie_label = g.interner().get("movie").unwrap();
+        let m2 = g.insert_node("movie", Value::str("Gravity"));
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.live_node_count(), 7);
+        assert_eq!(g.nodes_with_label(movie_label), &[ids[2], m2]);
+        assert!(g.is_live(m2));
+
+        // New edges keep adjacency sorted and refuse duplicates.
+        assert!(g.insert_edge(ids[0], m2).unwrap());
+        assert!(!g.insert_edge(ids[0], m2).unwrap());
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.out_neighbors(ids[0]), &[ids[2], m2]);
+        assert_eq!(g.in_neighbors(m2), &[ids[0]]);
+        assert!(g.insert_edge(NodeId(50), m2).is_err());
+    }
+
+    #[test]
+    fn delete_edge_updates_both_directions() {
+        let (mut g, ids) = movie_graph();
+        assert!(g.delete_edge(ids[2], ids[3]).unwrap());
+        assert!(!g.delete_edge(ids[2], ids[3]).unwrap());
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.out_neighbors(ids[2]), &[ids[4]]);
+        assert_eq!(g.in_neighbors(ids[3]), &[] as &[NodeId]);
+        assert!(g.delete_edge(NodeId(50), ids[3]).is_err());
+    }
+
+    #[test]
+    fn delete_node_tombstones_and_detaches() {
+        let (mut g, ids) = movie_graph();
+        let movie = ids[2];
+        let movie_label = g.label(movie);
+        let removed = g.delete_node(movie).unwrap();
+        // All four incident edges are reported exactly once.
+        assert_eq!(removed.len(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.is_live(movie));
+        assert!(g.contains_node(movie), "ids stay stable");
+        assert_eq!(g.live_node_count(), 5);
+        assert!(g.nodes_with_label(movie_label).is_empty());
+        assert!(g.neighbors(movie).is_empty());
+        assert_eq!(g.in_neighbors(ids[3]), &[] as &[NodeId]);
+        // The tombstoned label matches no interned label.
+        assert!(g.try_label(movie).is_some());
+        assert_ne!(g.label(movie), movie_label);
+        // Deleting again or touching the dead slot errors.
+        assert!(g.delete_node(movie).is_err());
+        assert!(g.insert_edge(ids[0], movie).is_err());
+        // Dead slots keep edge deletion well-defined (the edges are gone).
+        assert!(!g.delete_edge(ids[0], movie).unwrap());
+    }
+
+    #[test]
+    fn delete_node_handles_self_loops() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a", Value::Null);
+        let c = b.add_node("b", Value::Null);
+        b.add_edge(a, a).unwrap();
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, a).unwrap();
+        let mut g = b.build();
+        let removed = g.delete_node(a).unwrap();
+        assert_eq!(removed.len(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_live(c));
     }
 
     #[test]

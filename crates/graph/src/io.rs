@@ -97,15 +97,21 @@ pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph> {
 }
 
 /// Serializes a graph into the text format.
+///
+/// Deleted (tombstoned) node slots are skipped — they carry no label, value
+/// or edges — so saving a mutated graph writes exactly its live content.
+/// Because the format remaps ids on load anyway, a save/load round trip of
+/// a mutated graph yields the same live graph with compacted, contiguous
+/// ids.
 pub fn write_graph<W: Write>(graph: &Graph, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(
         w,
         "# bgpq graph: {} nodes, {} edges",
-        graph.node_count(),
+        graph.live_node_count(),
         graph.edge_count()
     )?;
-    for v in graph.nodes() {
+    for v in graph.nodes().filter(|&v| graph.is_live(v)) {
         let label = format_label(&graph.label_name(v));
         match graph.value(v) {
             Value::Null => writeln!(w, "n {} {}", v.0, label)?,

@@ -60,6 +60,33 @@ impl LabelIndex {
             .map(|(l, nodes)| (l, nodes.len()))
             .max_by_key(|&(_, n)| n)
     }
+
+    /// Registers `node` under `label`, keeping the bucket sorted. A no-op
+    /// when the node is already present. Used by graph mutation to keep the
+    /// index in sync with label assignments.
+    pub fn insert(&mut self, label: Label, node: NodeId) {
+        if label.index() >= self.buckets.len() {
+            self.buckets.resize_with(label.index() + 1, Vec::new);
+        }
+        let bucket = &mut self.buckets[label.index()];
+        if let Err(pos) = bucket.binary_search(&node) {
+            bucket.insert(pos, node);
+        }
+    }
+
+    /// Removes `node` from `label`'s bucket. Returns whether it was present.
+    pub fn remove(&mut self, label: Label, node: NodeId) -> bool {
+        let Some(bucket) = self.buckets.get_mut(label.index()) else {
+            return false;
+        };
+        match bucket.binary_search(&node) {
+            Ok(pos) => {
+                bucket.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +126,31 @@ mod tests {
         let idx = LabelIndex::build(&labels);
         let seen: Vec<u32> = idx.iter().map(|(l, _)| l.0).collect();
         assert_eq!(seen, vec![0, 2]);
+    }
+
+    #[test]
+    fn insert_keeps_buckets_sorted_and_deduplicated() {
+        let mut idx = LabelIndex::build(&[Label(0), Label(0)]);
+        idx.insert(Label(0), NodeId(5));
+        idx.insert(Label(0), NodeId(3));
+        idx.insert(Label(0), NodeId(3));
+        assert_eq!(
+            idx.nodes(Label(0)),
+            &[NodeId(0), NodeId(1), NodeId(3), NodeId(5)]
+        );
+        // Inserting under an unseen label grows the bucket table.
+        idx.insert(Label(4), NodeId(9));
+        assert_eq!(idx.nodes(Label(4)), &[NodeId(9)]);
+        assert_eq!(idx.distinct_labels(), 2);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut idx = LabelIndex::build(&[Label(0), Label(1), Label(0)]);
+        assert!(idx.remove(Label(0), NodeId(0)));
+        assert!(!idx.remove(Label(0), NodeId(0)));
+        assert!(!idx.remove(Label(7), NodeId(0)));
+        assert_eq!(idx.nodes(Label(0)), &[NodeId(2)]);
     }
 
     #[test]

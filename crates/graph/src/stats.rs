@@ -43,7 +43,7 @@ impl GraphStats {
         let mut total_degree = 0usize;
 
         let mut per_label: HashMap<Label, usize> = HashMap::new();
-        for v in graph.nodes() {
+        for v in graph.nodes().filter(|&v| graph.is_live(v)) {
             let lv = graph.label(v);
             *label_counts.entry(lv).or_insert(0) += 1;
 
@@ -61,7 +61,9 @@ impl GraphStats {
             }
         }
 
-        let node_count = graph.node_count();
+        // Statistics describe the live graph: deleted slots carry no label
+        // or edges and must not dilute counts or averages.
+        let node_count = graph.live_node_count();
         GraphStats {
             label_counts,
             max_label_fanout,

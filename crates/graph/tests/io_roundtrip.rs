@@ -143,3 +143,34 @@ fn large_generated_graph_round_trips() {
     let g2 = read_graph(Cursor::new(serialize(&g1))).unwrap();
     assert_same_graph(&g1, &g2);
 }
+
+#[test]
+fn mutated_graph_round_trips_as_its_live_content() {
+    // Mutate a graph (including a node deletion) and save it: deleted slots
+    // must not be written, and the loaded graph must equal the live content
+    // with compacted ids.
+    let mut g = sample_graph();
+    let extra = g.insert_node("movie", Value::str("Gravity"));
+    g.insert_edge(extra, bgpq_graph::NodeId(2)).unwrap();
+    g.delete_node(bgpq_graph::NodeId(0)).unwrap();
+
+    let g2 = read_graph(Cursor::new(serialize(&g))).unwrap();
+    assert_eq!(g2.node_count(), g.live_node_count());
+    assert_eq!(g2.edge_count(), g.edge_count());
+    assert_eq!(g2.distinct_label_count(), g.distinct_label_count());
+    // Every live node survives with its label, value and degree; ids are
+    // compacted in order, so live node k of `g` becomes node k of `g2`.
+    let live: Vec<_> = g.nodes().filter(|&v| g.is_live(v)).collect();
+    for (k, &v) in live.iter().enumerate() {
+        let w = bgpq_graph::NodeId(k as u32);
+        assert_eq!(g.label_name(v), g2.label_name(w), "label of {v}");
+        assert_eq!(g.value(v), g2.value(w), "value of {v}");
+        assert_eq!(g.out_degree(v), g2.out_degree(w), "out degree of {v}");
+        assert_eq!(g.in_degree(v), g2.in_degree(w), "in degree of {v}");
+    }
+    // The serialization of the loaded graph is a fixpoint.
+    assert_eq!(
+        serialize(&g2),
+        serialize(&read_graph(Cursor::new(serialize(&g2))).unwrap())
+    );
+}

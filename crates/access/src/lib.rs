@@ -27,7 +27,10 @@
 //!   bounds, label counts, FD-like constraints and grouped constraints);
 //! * [`satisfy`] — verification that `G |= A`;
 //! * [`maintenance`] — incremental index maintenance under edge insertions
-//!   and deletions, touching only `ΔG ∪ Nb(ΔG)`.
+//!   and deletions, touching only `ΔG ∪ Nb(ΔG)`;
+//! * [`serialize`] — a line-oriented text format for schemas, so a
+//!   discovered schema can be shipped next to its dataset and reloaded
+//!   without another discovery pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +41,7 @@ pub mod index;
 pub mod maintenance;
 pub mod satisfy;
 pub mod schema;
+pub mod serialize;
 
 pub use constraint::{AccessConstraint, ConstraintId, ConstraintKind};
 pub use discovery::{discover_schema, DiscoveryConfig};
@@ -45,3 +49,4 @@ pub use index::{AccessIndexSet, ConstraintIndex};
 pub use maintenance::{apply_delta, apply_deltas, GraphDelta, MaintenanceStats, TouchedNodes};
 pub use satisfy::{check_schema, Violation};
 pub use schema::AccessSchema;
+pub use serialize::{load_schema, read_schema, save_schema, write_schema};

@@ -1,0 +1,320 @@
+//! A text format for access schemas.
+//!
+//! Discovery ([`crate::discover_schema`]) is a whole-graph pass; production
+//! deployments run it once and ship the result next to the dataset. This
+//! module gives schemas a line-oriented interchange format mirroring the
+//! constraint classification of Section II:
+//!
+//! ```text
+//! # comment
+//! global  <target> <N>                  # ∅ → (target, N)
+//! unary   <source> <target> <N>         # source → (target, N)
+//! general <l1>,<l2>[,...] <target> <N>  # {l1, l2, ...} → (target, N)
+//! ```
+//!
+//! Labels are written by name (tokens without whitespace or commas — the
+//! writer rejects names that would not re-tokenize). Malformed input is
+//! reported with 1-based line numbers via [`GraphError::Parse`], the same
+//! diagnostic shape the dataset loaders use.
+
+use crate::constraint::{AccessConstraint, ConstraintKind};
+use crate::schema::AccessSchema;
+use bgpq_graph::{GraphError, Label, LabelInterner};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Serializes `schema` into the text format, rendering labels through
+/// `interner`.
+///
+/// # Examples
+///
+/// ```
+/// use bgpq_access::{AccessConstraint, AccessSchema};
+/// use bgpq_access::serialize::{read_schema, write_schema};
+/// use bgpq_graph::LabelInterner;
+///
+/// let mut interner = LabelInterner::new();
+/// let year = interner.intern("year");
+/// let movie = interner.intern("movie");
+/// let schema = AccessSchema::from_constraints([
+///     AccessConstraint::global(year, 10),
+///     AccessConstraint::unary(year, movie, 5),
+/// ]);
+///
+/// let mut buf = Vec::new();
+/// write_schema(&schema, &interner, &mut buf).unwrap();
+/// let reloaded = read_schema(std::io::Cursor::new(buf), &mut interner).unwrap();
+/// assert_eq!(reloaded, schema);
+/// ```
+pub fn write_schema<W: Write>(
+    schema: &AccessSchema,
+    interner: &LabelInterner,
+    writer: W,
+) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# bgpq access schema: {} constraints", schema.len())?;
+    for constraint in schema.iter() {
+        let target = label_token(constraint.target(), interner)?;
+        match constraint.kind() {
+            ConstraintKind::Global => {
+                writeln!(w, "global {} {}", target, constraint.bound())?;
+            }
+            ConstraintKind::Unary => {
+                let source = label_token(constraint.source()[0], interner)?;
+                writeln!(w, "unary {} {} {}", source, target, constraint.bound())?;
+            }
+            ConstraintKind::General => {
+                let sources: Result<Vec<String>, GraphError> = constraint
+                    .source()
+                    .iter()
+                    .map(|&l| label_token(l, interner))
+                    .collect();
+                writeln!(
+                    w,
+                    "general {} {} {}",
+                    sources?.join(","),
+                    target,
+                    constraint.bound()
+                )?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a schema to a file in the text format.
+pub fn save_schema(
+    schema: &AccessSchema,
+    interner: &LabelInterner,
+    path: impl AsRef<Path>,
+) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_schema(schema, interner, file)
+}
+
+/// Parses a schema from the text format, interning label names into
+/// `interner`.
+///
+/// Pass a clone of the data graph's interner so label ids line up with the
+/// graph; names the graph never interned get fresh ids, making their
+/// constraints vacuous (they can only ever index empty node sets) rather
+/// than wrong.
+pub fn read_schema<R: BufRead>(
+    reader: R,
+    interner: &mut LabelInterner,
+) -> Result<AccessSchema, GraphError> {
+    let mut schema = AccessSchema::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_num = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        let constraint = match tokens.as_slice() {
+            ["global", target, bound] => {
+                AccessConstraint::global(interner.intern(target), parse_bound(bound, line_num)?)
+            }
+            ["unary", source, target, bound] => AccessConstraint::unary(
+                interner.intern(source),
+                interner.intern(target),
+                parse_bound(bound, line_num)?,
+            ),
+            ["general", sources, target, bound] => {
+                let labels: Vec<Label> = sources
+                    .split(',')
+                    .map(|name| {
+                        let name = name.trim();
+                        if name.is_empty() {
+                            Err(parse_error(
+                                line_num,
+                                format!("empty label in source list {sources:?}"),
+                            ))
+                        } else {
+                            Ok(interner.intern(name))
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                if labels.len() < 2 {
+                    return Err(parse_error(
+                        line_num,
+                        "general constraints need at least two source labels \
+                         (use `unary` or `global`)"
+                            .into(),
+                    ));
+                }
+                AccessConstraint::new(
+                    labels,
+                    interner.intern(target),
+                    parse_bound(bound, line_num)?,
+                )
+            }
+            [kind, ..] if matches!(*kind, "global" | "unary" | "general") => {
+                return Err(parse_error(
+                    line_num,
+                    format!("wrong number of fields for a {kind:?} constraint"),
+                ));
+            }
+            [kind, ..] => {
+                return Err(parse_error(
+                    line_num,
+                    format!(
+                        "unknown constraint kind {kind:?} \
+                         (expected `global`, `unary` or `general`)"
+                    ),
+                ));
+            }
+            [] => unreachable!("blank lines are skipped"),
+        };
+        schema.add(constraint);
+    }
+    Ok(schema)
+}
+
+/// Loads a schema from a file in the text format.
+pub fn load_schema(
+    path: impl AsRef<Path>,
+    interner: &mut LabelInterner,
+) -> Result<AccessSchema, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_schema(std::io::BufReader::new(file), interner)
+}
+
+fn label_token(label: Label, interner: &LabelInterner) -> Result<String, GraphError> {
+    let Some(name) = interner.name(label) else {
+        return Err(GraphError::UnknownLabel(label.0));
+    };
+    if name.is_empty() || name.contains(char::is_whitespace) || name.contains(',') {
+        // A writer-side failure, not a parse error — no line number exists.
+        return Err(GraphError::Io(format!(
+            "label name {name:?} cannot be serialized \
+             (must be non-empty, without whitespace or commas)"
+        )));
+    }
+    Ok(name.to_string())
+}
+
+fn parse_bound(token: &str, line: usize) -> Result<usize, GraphError> {
+    token.parse().map_err(|_| {
+        parse_error(
+            line,
+            format!("invalid bound {token:?} (expected an unsigned integer)"),
+        )
+    })
+}
+
+fn parse_error(line: usize, message: String) -> GraphError {
+    GraphError::Parse { line, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_schema() -> (AccessSchema, LabelInterner) {
+        let mut interner = LabelInterner::new();
+        let year = interner.intern("year");
+        let award = interner.intern("award");
+        let movie = interner.intern("movie");
+        let actor = interner.intern("actor");
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::global(year, 135),
+            AccessConstraint::unary(movie, actor, 30),
+            AccessConstraint::new([year, award], movie, 4),
+        ]);
+        (schema, interner)
+    }
+
+    #[test]
+    fn round_trip_preserves_constraints_and_ids() {
+        let (schema, interner) = toy_schema();
+        let mut buf = Vec::new();
+        write_schema(&schema, &interner, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("global year 135"));
+        assert!(text.contains("unary movie actor 30"));
+        // Source labels serialize in interning order (year got id 0).
+        assert!(text.contains("general year,award movie 4"));
+
+        let mut reload_interner = interner.clone();
+        let reloaded = read_schema(std::io::Cursor::new(buf), &mut reload_interner).unwrap();
+        assert_eq!(reloaded, schema);
+        // No new labels were interned: every name already existed.
+        assert_eq!(reload_interner.len(), interner.len());
+    }
+
+    #[test]
+    fn unknown_labels_intern_fresh_ids() {
+        let mut interner = LabelInterner::new();
+        interner.intern("movie");
+        let text = "unary spaceship movie 2\n";
+        let schema = read_schema(std::io::Cursor::new(text), &mut interner).unwrap();
+        assert_eq!(schema.len(), 1);
+        assert!(interner.get("spaceship").is_some());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n  \nglobal movie 10\n";
+        let mut interner = LabelInterner::new();
+        let schema = read_schema(std::io::Cursor::new(text), &mut interner).unwrap();
+        assert_eq!(schema.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("global movie ten\n", 1, "invalid bound"),
+            ("global movie\n", 1, "wrong number of fields"),
+            ("unary a b c d\n", 1, "wrong number of fields"),
+            ("# ok\nfanout a b 3\n", 2, "unknown constraint kind"),
+            ("general year movie 4\n", 1, "at least two"),
+            ("general year,,award movie 4\n", 1, "empty label"),
+        ];
+        for (text, line, needle) in cases {
+            let mut interner = LabelInterner::new();
+            let err = read_schema(std::io::Cursor::new(text), &mut interner).unwrap_err();
+            match err {
+                GraphError::Parse {
+                    line: l,
+                    ref message,
+                } => {
+                    assert_eq!(l, *line, "wrong line for {text:?}");
+                    assert!(
+                        message.contains(needle),
+                        "expected {needle:?} in {message:?}"
+                    );
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unserializable_label_names_are_rejected() {
+        let mut interner = LabelInterner::new();
+        let spacey = interner.intern("two words");
+        let schema = AccessSchema::from_constraints([AccessConstraint::global(spacey, 1)]);
+        let err = write_schema(&schema, &interner, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("cannot be serialized"));
+
+        let foreign = AccessSchema::from_constraints([AccessConstraint::global(Label(99), 1)]);
+        let err = write_schema(&foreign, &LabelInterner::new(), &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownLabel(99)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (schema, interner) = toy_schema();
+        let dir = std::env::temp_dir().join("bgpq_schema_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.schema");
+        save_schema(&schema, &interner, &path).unwrap();
+        let mut reload_interner = interner.clone();
+        let reloaded = load_schema(&path, &mut reload_interner).unwrap();
+        assert_eq!(reloaded, schema);
+        std::fs::remove_file(path).ok();
+    }
+}

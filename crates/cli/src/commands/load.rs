@@ -1,0 +1,95 @@
+//! `bgpq load` — parse a dataset and print its statistics.
+
+use crate::args::Args;
+use crate::dataset::{default_edge_label, load_dataset, Format};
+use bgpq_engine::Graph;
+use bgpq_graph::GraphStats;
+use std::error::Error;
+use std::io::Write;
+use std::path::Path;
+
+const USAGE: &str = "USAGE: bgpq load <dataset> [--format text|jsonl|edges] [--label NAME]
+
+Parses the dataset (reporting malformed lines with their line number) and
+prints node/edge counts, the label histogram, degree statistics and the mix
+of attribute value types. --label sets the implicit node label of edge
+lists.";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let args = Args::parse(argv, &["format", "label"], &["help"])?;
+    if args.switch("help") {
+        writeln!(out, "{USAGE}")?;
+        return Ok(());
+    }
+    let path = Path::new(args.require_positional(0, "dataset")?);
+    let format = parse_format(&args)?;
+    let label = args.flag("label").unwrap_or(default_edge_label());
+    let (graph, format) = load_dataset(path, format, label)?;
+    report(&graph, path, format, out)?;
+    Ok(())
+}
+
+/// Resolves the optional `--format` flag (shared with other subcommands).
+pub(crate) fn parse_format(args: &Args) -> Result<Option<Format>, Box<dyn Error>> {
+    match args.flag("format") {
+        None => Ok(None),
+        Some(name) => Format::from_name(name)
+            .map(Some)
+            .ok_or_else(|| format!("invalid --format {name:?} (text, jsonl or edges)").into()),
+    }
+}
+
+fn report(
+    graph: &Graph,
+    path: &Path,
+    format: Format,
+    out: &mut dyn Write,
+) -> Result<(), Box<dyn Error>> {
+    let stats = GraphStats::compute(graph);
+    writeln!(out, "dataset {} ({format})", path.display())?;
+    writeln!(
+        out,
+        "  nodes: {}   edges: {}   distinct labels: {}",
+        stats.node_count,
+        stats.edge_count,
+        stats.label_counts.len()
+    )?;
+    writeln!(
+        out,
+        "  degree: max {}   avg {:.2}",
+        stats.max_degree, stats.avg_degree
+    )?;
+
+    let mut labels: Vec<(String, usize)> = stats
+        .label_counts
+        .iter()
+        .map(|(&l, &count)| (graph.interner().name_or_placeholder(l), count))
+        .collect();
+    labels.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    writeln!(out, "  labels:")?;
+    for (name, count) in labels {
+        writeln!(out, "    {name:<16} {count}")?;
+    }
+
+    let mut by_type: [(&str, usize); 5] = [
+        ("null", 0),
+        ("bool", 0),
+        ("int", 0),
+        ("float", 0),
+        ("str", 0),
+    ];
+    for v in graph.nodes().filter(|&v| graph.is_live(v)) {
+        let name = graph.value(v).type_name();
+        if let Some(slot) = by_type.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 += 1;
+        }
+    }
+    let mix: Vec<String> = by_type
+        .iter()
+        .filter(|(_, c)| *c > 0)
+        .map(|(n, c)| format!("{n} {c}"))
+        .collect();
+    writeln!(out, "  values: {}", mix.join("   "))?;
+    Ok(())
+}

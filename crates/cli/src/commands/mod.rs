@@ -1,0 +1,71 @@
+//! Subcommand implementations.
+
+pub mod discover;
+pub mod gen;
+pub mod index;
+pub mod load;
+pub mod query;
+pub mod serve_demo;
+
+use crate::args::Args;
+use bgpq_engine::DiscoveryConfig;
+
+/// Renders a nanosecond count with a readable unit.
+pub(crate) fn fmt_nanos(nanos: u64) -> String {
+    match nanos {
+        n if n < 1_000 => format!("{n} ns"),
+        n if n < 1_000_000 => format!("{:.1} µs", n as f64 / 1_000.0),
+        n if n < 1_000_000_000 => format!("{:.1} ms", n as f64 / 1_000_000.0),
+        n => format!("{:.2} s", n as f64 / 1_000_000_000.0),
+    }
+}
+
+/// The discovery flags shared by `discover`, `index`, `query` and
+/// `serve-demo` (all of which may need to derive a schema on the fly).
+pub(crate) const DISCOVERY_FLAGS: [&str; 4] =
+    ["max-global", "max-unary", "max-pair", "max-constraints"];
+
+/// The `--simple` switch name (type 1+2 discovery only).
+pub(crate) const SIMPLE_SWITCH: &str = "simple";
+
+/// Builds a [`DiscoveryConfig`] from the shared discovery flags.
+pub(crate) fn discovery_config(args: &Args) -> Result<DiscoveryConfig, String> {
+    let defaults = if args.switch(SIMPLE_SWITCH) {
+        DiscoveryConfig::simple()
+    } else {
+        DiscoveryConfig::default()
+    };
+    Ok(DiscoveryConfig {
+        max_global_bound: args.flag_or("max-global", defaults.max_global_bound)?,
+        max_unary_bound: args.flag_or("max-unary", defaults.max_unary_bound)?,
+        max_pair_bound: args.flag_or("max-pair", defaults.max_pair_bound)?,
+        max_constraints: args.flag_or("max-constraints", defaults.max_constraints)?,
+        ..defaults
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_pick_sensible_units() {
+        assert_eq!(fmt_nanos(999), "999 ns");
+        assert_eq!(fmt_nanos(25_000), "25.0 µs");
+        assert_eq!(fmt_nanos(4_879_500), "4.9 ms");
+        assert_eq!(fmt_nanos(25_000_000_000), "25.00 s");
+    }
+
+    #[test]
+    fn discovery_config_reads_flags() {
+        let args = Args::parse(
+            &["--max-global=9".into(), "--simple".into()],
+            &DISCOVERY_FLAGS,
+            &[SIMPLE_SWITCH],
+        )
+        .unwrap();
+        let config = discovery_config(&args).unwrap();
+        assert_eq!(config.max_global_bound, 9);
+        assert!(!config.discover_pairs, "--simple disables pair discovery");
+    }
+}

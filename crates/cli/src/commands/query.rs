@@ -1,0 +1,276 @@
+//! `bgpq query` — run one pattern query through the engine.
+
+use super::{discovery_config, fmt_nanos, DISCOVERY_FLAGS, SIMPLE_SWITCH};
+use crate::args::Args;
+use crate::commands::load::parse_format;
+use crate::dataset::{default_edge_label, load_dataset, load_or_discover_schema};
+use bgpq_engine::{
+    parse_pattern, Engine, QueryAnswer, QueryRequest, QueryResponse, Semantics, StrategyKind,
+};
+use bgpq_pattern::Pattern;
+use std::error::Error;
+use std::io::Write;
+use std::path::Path;
+
+const USAGE: &str = "USAGE: bgpq query <dataset> --pattern FILE
+                     [--schema FILE] [--semantics iso|sim]
+                     [--strategy auto|bounded|seeded|baseline]
+                     [--max-matches N] [--step-budget N] [--show N]
+                     [--explain] [discovery flags]
+                     [--format text|jsonl|edges] [--label NAME]
+
+Loads the dataset, obtains an access schema (--schema FILE or discovery),
+builds an engine and executes the pattern file (see `bgpq-pattern::parse`
+for the syntax). The engine picks the cheapest sound strategy — bounded
+bVF2/bSim when the pattern is effectively bounded under the schema — unless
+--strategy forces a tier. --explain prints the fetch plan or the planner's
+refusal.";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let mut value_flags = vec![
+        "format",
+        "label",
+        "schema",
+        "pattern",
+        "semantics",
+        "strategy",
+        "max-matches",
+        "step-budget",
+        "show",
+    ];
+    value_flags.extend_from_slice(&DISCOVERY_FLAGS);
+    let args = Args::parse(argv, &value_flags, &[SIMPLE_SWITCH, "explain", "help"])?;
+    if args.switch("help") {
+        writeln!(out, "{USAGE}")?;
+        return Ok(());
+    }
+    let path = Path::new(args.require_positional(0, "dataset")?);
+    let pattern_path = args
+        .flag("pattern")
+        .ok_or("missing --pattern FILE (see `bgpq query --help`)")?;
+    let semantics = parse_semantics(args.flag("semantics"))?;
+    let strategy = parse_strategy(args.flag("strategy"))?;
+    let show = args.flag_or("show", 10usize)?;
+
+    let format = parse_format(&args)?;
+    let label = args.flag("label").unwrap_or(default_edge_label());
+    let (graph, _) = load_dataset(path, format, label)?;
+    let schema_path = args.flag("schema").map(Path::new);
+    let schema = load_or_discover_schema(&graph, schema_path, &discovery_config(&args)?)?;
+
+    let pattern_text =
+        std::fs::read_to_string(pattern_path).map_err(|e| format!("{pattern_path}: {e}"))?;
+    let pattern = parse_pattern(&pattern_text, graph.interner().clone())
+        .map_err(|e| format!("{pattern_path}: {e}"))?;
+    writeln!(
+        out,
+        "dataset {}: {} nodes, {} edges; schema: {} constraints{}",
+        path.display(),
+        graph.live_node_count(),
+        graph.edge_count(),
+        schema.len(),
+        match schema_path {
+            Some(p) => format!(" (from {})", p.display()),
+            None => " (discovered)".into(),
+        }
+    )?;
+    writeln!(
+        out,
+        "pattern {}: {} nodes, {} edges",
+        pattern_path,
+        pattern.node_count(),
+        pattern.edge_count()
+    )?;
+
+    let engine = Engine::new(graph, &schema);
+    let mut builder = QueryRequest::build(pattern.clone()).semantics(semantics);
+    if let Some(kind) = strategy {
+        builder = builder.strategy(kind);
+    }
+    if args.flag("max-matches").is_some() {
+        builder = builder.max_matches(args.flag_or("max-matches", 0usize)?);
+    }
+    if args.flag("step-budget").is_some() {
+        builder = builder.step_budget(args.flag_or("step-budget", 0u64)?);
+    }
+    let request = builder.explain(args.switch("explain")).finish();
+    let response = engine.execute(&request)?;
+    report(&response, &pattern, &engine, show, out)?;
+    Ok(())
+}
+
+fn parse_semantics(raw: Option<&str>) -> Result<Semantics, Box<dyn Error>> {
+    match raw {
+        None | Some("iso" | "isomorphism") => Ok(Semantics::Isomorphism),
+        Some("sim" | "simulation") => Ok(Semantics::Simulation),
+        Some(other) => Err(format!("invalid --semantics {other:?} (iso or sim)").into()),
+    }
+}
+
+fn parse_strategy(raw: Option<&str>) -> Result<Option<StrategyKind>, Box<dyn Error>> {
+    match raw {
+        None | Some("auto") => Ok(None),
+        Some("bounded") => Ok(Some(StrategyKind::Bounded)),
+        Some("seeded") => Ok(Some(StrategyKind::IndexSeeded)),
+        Some("baseline") => Ok(Some(StrategyKind::Baseline)),
+        Some(other) => {
+            Err(format!("invalid --strategy {other:?} (auto, bounded, seeded or baseline)").into())
+        }
+    }
+}
+
+fn node_display(pattern: &Pattern, u: bgpq_pattern::PatternNodeId) -> String {
+    match pattern.node_name(u) {
+        Some(name) => name.to_string(),
+        None => u.to_string(),
+    }
+}
+
+fn report(
+    response: &QueryResponse,
+    pattern: &Pattern,
+    engine: &Engine,
+    show: usize,
+    out: &mut dyn Write,
+) -> Result<(), Box<dyn Error>> {
+    let graph = engine.graph();
+    writeln!(out, "strategy: {}", response.strategy)?;
+    match &response.answer {
+        QueryAnswer::Matches(matches) => {
+            writeln!(out, "answer: {} matches", matches.len())?;
+            for m in matches.iter().take(show) {
+                let parts: Vec<String> = pattern
+                    .nodes()
+                    .map(|u| {
+                        let v = m.node_for(u);
+                        format!(
+                            "{}={} ({}={})",
+                            node_display(pattern, u),
+                            v.0,
+                            graph.label_name(v),
+                            graph.value(v)
+                        )
+                    })
+                    .collect();
+                writeln!(out, "  {}", parts.join("  "))?;
+            }
+            if matches.len() > show {
+                writeln!(out, "  ... ({} more; raise --show)", matches.len() - show)?;
+            }
+        }
+        QueryAnswer::Simulation(relation) => {
+            writeln!(
+                out,
+                "answer: maximum simulation relation, {} (u, v) pairs",
+                relation.pair_count()
+            )?;
+            for u in pattern.nodes() {
+                let vs = relation.matches_of(u);
+                let sample: Vec<String> = vs.iter().take(show).map(|v| v.0.to_string()).collect();
+                writeln!(
+                    out,
+                    "  {} ({}): {} nodes{}",
+                    node_display(pattern, u),
+                    pattern.label_name(u),
+                    vs.len(),
+                    if vs.is_empty() {
+                        String::new()
+                    } else {
+                        format!(
+                            "  [{}{}]",
+                            sample.join(", "),
+                            if vs.len() > show { ", ..." } else { "" }
+                        )
+                    }
+                )?;
+            }
+        }
+    }
+
+    let stats = &response.stats;
+    let mut line = format!(
+        "stats: plan {}{}",
+        fmt_nanos(stats.plan_nanos),
+        stats
+            .plan_cache
+            .map(|o| format!(" ({o})"))
+            .unwrap_or_default()
+    );
+    if let Some(fetch) = &stats.fetch {
+        let g_size = graph.live_node_count();
+        line.push_str(&format!(
+            " · fetch+build {} (|G_Q| = {} nodes / {} edges, {:.1}% of |G|, {} index lookups)",
+            fmt_nanos(stats.fragment_build_nanos),
+            fetch.fragment_nodes,
+            fetch.fragment_edges,
+            if g_size == 0 {
+                0.0
+            } else {
+                100.0 * fetch.fragment_nodes as f64 / g_size as f64
+            },
+            fetch.index_lookups
+        ));
+    }
+    line.push_str(&format!(
+        " · match {} · total {}",
+        fmt_nanos(stats.match_nanos),
+        fmt_nanos(stats.total_nanos)
+    ));
+    writeln!(out, "{line}")?;
+    if let (Some(bound), Some(util)) = (stats.worst_case_nodes, stats.fetch_utilization()) {
+        writeln!(
+            out,
+            "bound: worst-case {} fetched nodes, used {:.1}%",
+            bound,
+            100.0 * util
+        )?;
+    }
+    if stats.aborted {
+        writeln!(
+            out,
+            "WARNING: step budget exhausted; the answer may be incomplete"
+        )?;
+    }
+
+    if let Some(explain) = &response.explain {
+        match &explain.plan {
+            Some(plan) => {
+                writeln!(out, "plan ({:?} semantics):", plan.semantics)?;
+                for step in &plan.steps {
+                    let via: Vec<String> =
+                        step.via.iter().map(|&u| node_display(pattern, u)).collect();
+                    let constraint = engine
+                        .indices()
+                        .schema()
+                        .get(step.constraint)
+                        .map(|c| c.display_with(graph.interner()))
+                        .unwrap_or_else(|| step.constraint.to_string());
+                    writeln!(
+                        out,
+                        "  fetch {} via {} [{}] (≤ {} candidates)",
+                        node_display(pattern, step.node),
+                        constraint,
+                        if via.is_empty() {
+                            "∅".to_string()
+                        } else {
+                            via.join(", ")
+                        },
+                        step.candidate_bound
+                    )?;
+                }
+            }
+            None => {
+                writeln!(
+                    out,
+                    "no bounded plan: {}",
+                    explain
+                        .fallback_reason
+                        .as_deref()
+                        .unwrap_or("(strategy was forced)")
+                )?;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Shared dataset plumbing of the subcommands: format detection, loading,
+//! and schema acquisition (load a serialized schema or discover one).
+
+use bgpq_engine::{discover_schema, AccessSchema, DiscoveryConfig, Graph};
+use bgpq_graph::io::{load_edge_list, load_graph, load_jsonl, DEFAULT_EDGE_LIST_LABEL};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// The dataset file formats the CLI can ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `n`/`e` typed records (whitespace- or tab-separated): `.tsv`, `.txt`,
+    /// `.graph`.
+    Text,
+    /// JSON lines: `.jsonl`, `.ndjson`.
+    Jsonl,
+    /// Plain `src dst` edge list: `.el`, `.edges`.
+    EdgeList,
+}
+
+impl Format {
+    /// Resolves a `--format` value.
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name {
+            "text" | "tsv" => Some(Format::Text),
+            "jsonl" | "ndjson" => Some(Format::Jsonl),
+            "edges" | "edge-list" | "el" => Some(Format::EdgeList),
+            _ => None,
+        }
+    }
+
+    /// Guesses the format from a file extension (text when unknown).
+    pub fn detect(path: &Path) -> Format {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("jsonl" | "ndjson") => Format::Jsonl,
+            Some("el" | "edges") => Format::EdgeList,
+            _ => Format::Text,
+        }
+    }
+
+    /// The CLI name of the format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Text => "text",
+            Format::Jsonl => "jsonl",
+            Format::EdgeList => "edges",
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Loads a dataset, picking the reader from `format` (or the file extension
+/// when `None`). `edge_label` is the implicit node label of edge lists.
+pub fn load_dataset(
+    path: &Path,
+    format: Option<Format>,
+    edge_label: &str,
+) -> Result<(Graph, Format), Box<dyn Error>> {
+    let format = format.unwrap_or_else(|| Format::detect(path));
+    let annotate = |e: bgpq_engine::GraphError| -> Box<dyn Error> {
+        format!("{}: {e}", path.display()).into()
+    };
+    let graph = match format {
+        Format::Text => load_graph(path).map_err(annotate)?,
+        Format::Jsonl => load_jsonl(path).map_err(annotate)?,
+        Format::EdgeList => load_edge_list(path, edge_label).map_err(annotate)?,
+    };
+    Ok((graph, format))
+}
+
+/// The implicit node label used for edge lists unless `--label` overrides
+/// it.
+pub fn default_edge_label() -> &'static str {
+    DEFAULT_EDGE_LIST_LABEL
+}
+
+/// Obtains the access schema for `graph`: loads `--schema FILE` when given,
+/// otherwise runs discovery with `config`.
+pub fn load_or_discover_schema(
+    graph: &Graph,
+    schema_path: Option<&Path>,
+    config: &DiscoveryConfig,
+) -> Result<AccessSchema, Box<dyn Error>> {
+    match schema_path {
+        Some(path) => {
+            let mut interner = graph.interner().clone();
+            bgpq_access::load_schema(path, &mut interner)
+                .map_err(|e| format!("{}: {e}", path.display()).into())
+        }
+        None => Ok(discover_schema(graph, config)),
+    }
+}

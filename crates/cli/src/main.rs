@@ -1,0 +1,18 @@
+use std::io::Write;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = bgpq_cli::run(&argv, &mut out) {
+        // A closed stdout (`bgpq ... | head`) is not an error.
+        if let Some(io) = e.downcast_ref::<std::io::Error>() {
+            if io.kind() == std::io::ErrorKind::BrokenPipe {
+                std::process::exit(0);
+            }
+        }
+        let _ = out.flush();
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

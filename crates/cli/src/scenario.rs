@@ -1,0 +1,565 @@
+//! Built-in scenario generators: diverse synthetic workloads.
+//!
+//! The paper evaluates bounded evaluation on IMDb, DBpedia and WebBase —
+//! graphs with very different label schemas and degree shapes. The three
+//! scenarios here reproduce that diversity without shipping gigabytes:
+//!
+//! * [`Scenario::Social`] — users, posts, tags, cities. Follower edges use
+//!   preferential attachment, so user degree is heavily skewed (hubs), while
+//!   `user → city` is a functional dependency (bound 1).
+//! * [`Scenario::Citation`] — papers (with year values), authors, venues.
+//!   Citations only point to older papers (a DAG) with a small uniform
+//!   out-degree; `paper → venue` is an FD; venues and years are
+//!   low-cardinality labels, the shape type-1 constraints like.
+//! * [`Scenario::ProductCatalog`] — products (float prices), brands, a
+//!   category tree, customers and reviews (integer ratings). Review
+//!   in-degree per product is skewed; `product → brand` and
+//!   `review → product` are FDs.
+//!
+//! A generator emits a flat [`Record`] stream. Both consumption paths share
+//! it: [`Dataset::build_graph`] feeds the records straight into a
+//! [`GraphBuilder`], while [`Dataset::to_text`] / [`Dataset::to_jsonl`]
+//! render the records in the interchange formats that the `bgpq-graph::io`
+//! loaders read back. The loader-vs-generator equivalence tests assert the
+//! two paths produce identical graphs, so datasets written by `bgpq gen`
+//! and graphs built in memory can never drift apart.
+
+use bgpq_engine::{GraphBuilder, NodeId};
+use bgpq_graph::io::{format_value, json::json_float_token, json::write_json_string};
+use bgpq_graph::{Graph, Value};
+use bgpq_pattern::DetRng;
+use std::fmt;
+
+/// The built-in dataset scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Social network: skewed follower degrees, `user → city` FD.
+    Social,
+    /// Citation network: year-ordered citation DAG, `paper → venue` FD.
+    Citation,
+    /// Product catalog: category tree, float prices, review ratings.
+    ProductCatalog,
+}
+
+impl Scenario {
+    /// All scenarios, in a stable order.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::Social,
+        Scenario::Citation,
+        Scenario::ProductCatalog,
+    ];
+
+    /// The CLI name of the scenario.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Social => "social",
+            Scenario::Citation => "citation",
+            Scenario::ProductCatalog => "products",
+        }
+    }
+
+    /// Resolves a CLI name.
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// One-line description for `bgpq gen --help`-style listings.
+    pub fn description(self) -> &'static str {
+        match self {
+            Scenario::Social => "users/posts/tags/cities; preferential-attachment follower graph",
+            Scenario::Citation => "papers/authors/venues; year-ordered citation DAG",
+            Scenario::ProductCatalog => {
+                "products/brands/categories/customers/reviews; category tree"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Knobs of a scenario generation run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The scenario's primary population (users, papers, products). The
+    /// other populations are derived from it.
+    pub scale: usize,
+    /// Seed of the deterministic generator: same seed, same dataset.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            scale: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// One record of a generated dataset, in the vocabulary of the JSONL
+/// loader: a labeled, valued node or a directed edge between external ids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A node declaration.
+    Node {
+        /// External id (contiguous from 0 in generated datasets).
+        id: u64,
+        /// Label name.
+        label: &'static str,
+        /// Attribute value.
+        value: Value,
+    },
+    /// A directed edge between two declared nodes.
+    Edge {
+        /// Source external id.
+        src: u64,
+        /// Destination external id.
+        dst: u64,
+    },
+}
+
+/// A generated dataset: the scenario it came from and its record stream.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    scenario: Scenario,
+    config: ScenarioConfig,
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// The scenario this dataset was generated from.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// The generation knobs used.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The raw record stream.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Builds the graph directly through [`GraphBuilder`] — the synthetic
+    /// path. Node records map to [`NodeId`]s in record order, which is the
+    /// same order the loaders assign, so this graph is identical to loading
+    /// [`Dataset::to_text`] or [`Dataset::to_jsonl`].
+    pub fn build_graph(&self) -> Graph {
+        let nodes = self
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Node { .. }))
+            .count();
+        let mut builder = GraphBuilder::with_capacity(nodes, self.records.len() - nodes);
+        let mut ids: std::collections::HashMap<u64, NodeId> =
+            std::collections::HashMap::with_capacity(nodes);
+        for record in &self.records {
+            match record {
+                Record::Node { id, label, value } => {
+                    let node = builder.add_node(label, value.clone());
+                    ids.insert(*id, node);
+                }
+                Record::Edge { .. } => {}
+            }
+        }
+        let resolve = |external: u64| -> NodeId {
+            *ids.get(&external)
+                .expect("generated edges reference generated nodes")
+        };
+        for record in &self.records {
+            if let Record::Edge { src, dst } = record {
+                builder
+                    .add_edge(resolve(*src), resolve(*dst))
+                    .expect("generated endpoints exist");
+            }
+        }
+        builder.build()
+    }
+
+    /// Renders the dataset in the `n`/`e` text format (tab-separated), the
+    /// shape `bgpq-graph::io::read_graph` parses.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# bgpq scenario dataset: {} (scale {}, seed {})\n",
+            self.scenario, self.config.scale, self.config.seed
+        ));
+        for record in &self.records {
+            match record {
+                Record::Node { id, label, value } => match format_value(value) {
+                    None => out.push_str(&format!("n\t{id}\t{label}\n")),
+                    Some(token) => out.push_str(&format!("n\t{id}\t{label}\t{token}\n")),
+                },
+                Record::Edge { src, dst } => out.push_str(&format!("e\t{src}\t{dst}\n")),
+            }
+        }
+        out
+    }
+
+    /// Renders the dataset in the JSON-lines format, the shape
+    /// `bgpq-graph::io::read_jsonl` parses.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            match record {
+                Record::Node { id, label, value } => {
+                    out.push_str(&format!("{{\"type\":\"node\",\"id\":{id},\"label\":"));
+                    write_json_string(&mut out, label);
+                    match value {
+                        Value::Null => {}
+                        Value::Bool(b) => out.push_str(&format!(",\"value\":{b}")),
+                        Value::Int(i) => out.push_str(&format!(",\"value\":{i}")),
+                        Value::Float(x) => {
+                            let token = json_float_token(*x)
+                                .expect("generators only produce finite floats");
+                            out.push_str(",\"value\":");
+                            out.push_str(&token);
+                        }
+                        Value::Str(s) => {
+                            out.push_str(",\"value\":");
+                            write_json_string(&mut out, s);
+                        }
+                    }
+                    out.push_str("}\n");
+                }
+                Record::Edge { src, dst } => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"edge\",\"src\":{src},\"dst\":{dst}}}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Checks that two graphs are identical node for node — same live node
+/// count, and per node id the same label name and attribute value, with the
+/// same edge set. Returns a description of the first difference. Used by
+/// the loader-vs-generator equivalence suite: the graph a loader produces
+/// from an emitted dataset must be indistinguishable from the directly
+/// built one.
+pub fn same_graph(a: &Graph, b: &Graph) -> Result<(), String> {
+    if a.live_node_count() != b.live_node_count() {
+        return Err(format!(
+            "node counts differ: {} vs {}",
+            a.live_node_count(),
+            b.live_node_count()
+        ));
+    }
+    if a.edge_count() != b.edge_count() {
+        return Err(format!(
+            "edge counts differ: {} vs {}",
+            a.edge_count(),
+            b.edge_count()
+        ));
+    }
+    for v in a.nodes().filter(|&v| a.is_live(v)) {
+        if !b.is_live(v) {
+            return Err(format!("node {} is live on one side only", v.0));
+        }
+        if a.label_name(v) != b.label_name(v) {
+            return Err(format!(
+                "labels of node {} differ: {:?} vs {:?}",
+                v.0,
+                a.label_name(v),
+                b.label_name(v)
+            ));
+        }
+        if a.value(v) != b.value(v) {
+            return Err(format!(
+                "values of node {} differ: {:?} vs {:?}",
+                v.0,
+                a.value(v),
+                b.value(v)
+            ));
+        }
+    }
+    let edges = |g: &Graph| -> Vec<(u32, u32)> {
+        let mut e: Vec<(u32, u32)> = g.edges().map(|e| (e.src.0, e.dst.0)).collect();
+        e.sort_unstable();
+        e
+    };
+    if edges(a) != edges(b) {
+        return Err("edge sets differ".into());
+    }
+    Ok(())
+}
+
+/// Generates a dataset for `scenario` under `config`. Fully deterministic:
+/// the record stream is a function of `(scenario, scale, seed)`.
+pub fn generate(scenario: Scenario, config: &ScenarioConfig) -> Dataset {
+    let mut gen = Generator {
+        rng: DetRng::seed_from_u64(config.seed ^ (scenario as u64) << 32),
+        records: Vec::new(),
+        next_id: 0,
+    };
+    match scenario {
+        Scenario::Social => gen.social(config.scale.max(2)),
+        Scenario::Citation => gen.citation(config.scale.max(2)),
+        Scenario::ProductCatalog => gen.product_catalog(config.scale.max(2)),
+    }
+    Dataset {
+        scenario,
+        config: config.clone(),
+        records: gen.records,
+    }
+}
+
+struct Generator {
+    rng: DetRng,
+    records: Vec<Record>,
+    next_id: u64,
+}
+
+impl Generator {
+    fn node(&mut self, label: &'static str, value: Value) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.records.push(Record::Node { id, label, value });
+        id
+    }
+
+    fn edge(&mut self, src: u64, dst: u64) {
+        self.records.push(Record::Edge { src, dst });
+    }
+
+    /// A draw over `0..n` skewed towards small indices (minimum of three
+    /// uniform draws, density `∝ (1 - x)²`) — the cheap stand-in for
+    /// preferential attachment.
+    fn skewed(&mut self, n: usize) -> usize {
+        self.rng
+            .random_range(0..n)
+            .min(self.rng.random_range(0..n))
+            .min(self.rng.random_range(0..n))
+    }
+
+    fn social(&mut self, users: usize) {
+        let cities = (users / 25).max(3);
+        let tags = (users / 10).max(5);
+        let posts = users * 2;
+
+        let city_ids: Vec<u64> = (0..cities)
+            .map(|i| self.node("city", Value::str(format!("city-{i}"))))
+            .collect();
+        let tag_ids: Vec<u64> = (0..tags)
+            .map(|i| self.node("tag", Value::str(format!("tag-{i}"))))
+            .collect();
+        let user_ids: Vec<u64> = (0..users)
+            .map(|i| self.node("user", Value::Int(i as i64)))
+            .collect();
+        let post_ids: Vec<u64> = (0..posts)
+            .map(|i| self.node("post", Value::Int(i as i64)))
+            .collect();
+
+        // user → city: everyone lives somewhere, exactly one city (an FD).
+        for &u in &user_ids {
+            let c = city_ids[self.rng.random_range(0..cities)];
+            self.edge(u, c);
+        }
+        // user → user follows, preferentially attached to early users.
+        for i in 1..users {
+            let follows = 1 + self.rng.random_range(0..=2);
+            for _ in 0..follows {
+                let target = self.skewed(i);
+                self.edge(user_ids[i], user_ids[target]);
+            }
+        }
+        // user → post authorship: hubs author more.
+        for &p in &post_ids {
+            let author = self.skewed(users);
+            self.edge(user_ids[author], p);
+        }
+        // post → tag: one to three tags.
+        for &p in &post_ids {
+            let k = 1 + self.rng.random_range(0..=2);
+            for _ in 0..k {
+                let t = tag_ids[self.rng.random_range(0..tags)];
+                self.edge(p, t);
+            }
+        }
+    }
+
+    fn citation(&mut self, papers: usize) {
+        let venues = (papers / 30).max(4);
+        let authors = (papers / 2).max(3);
+
+        let venue_ids: Vec<u64> = (0..venues)
+            .map(|i| self.node("venue", Value::str(format!("venue-{i}"))))
+            .collect();
+        let author_ids: Vec<u64> = (0..authors)
+            .map(|i| self.node("author", Value::Int(i as i64)))
+            .collect();
+        let paper_ids: Vec<u64> = (0..papers)
+            .map(|i| {
+                let year = 1980 + (i * 40 / papers) as i64;
+                self.node("paper", Value::Int(year))
+            })
+            .collect();
+
+        for (i, &p) in paper_ids.iter().enumerate() {
+            // paper → venue: exactly one (an FD).
+            let v = venue_ids[self.rng.random_range(0..venues)];
+            self.edge(p, v);
+            // author → paper: one to three authors.
+            let k = 1 + self.rng.random_range(0..=2);
+            for _ in 0..k {
+                let a = author_ids[self.rng.random_range(0..authors)];
+                self.edge(a, p);
+            }
+            // paper → paper: cite up to five strictly older papers
+            // (uniform, so citation out-degree stays flat — unlike the
+            // social scenario's skewed follower degrees).
+            if i > 0 {
+                let cites = 1 + self.rng.random_range(0..=4.min(i - 1));
+                for _ in 0..cites {
+                    let older = self.rng.random_range(0..i);
+                    self.edge(p, paper_ids[older]);
+                }
+            }
+        }
+    }
+
+    fn product_catalog(&mut self, products: usize) {
+        let brands = (products / 12).max(4);
+        let categories = (products / 10).max(6);
+        let customers = (products / 2).max(5);
+        let reviews = products * 2;
+
+        let brand_ids: Vec<u64> = (0..brands)
+            .map(|i| self.node("brand", Value::str(format!("brand-{i}"))))
+            .collect();
+        let category_ids: Vec<u64> = (0..categories)
+            .map(|i| self.node("category", Value::str(format!("category-{i}"))))
+            .collect();
+        // category → category: a tree, every non-root points at an earlier
+        // parent.
+        for i in 1..categories {
+            let parent = category_ids[self.rng.random_range(0..i)];
+            self.edge(category_ids[i], parent);
+        }
+        let product_ids: Vec<u64> = (0..products)
+            .map(|_| {
+                let cents = self.rng.random_range(99..=99_99) as f64;
+                self.node("product", Value::Float(cents / 100.0))
+            })
+            .collect();
+        for &p in &product_ids {
+            // product → brand: exactly one (an FD).
+            let b = brand_ids[self.rng.random_range(0..brands)];
+            self.edge(p, b);
+            // product → category: one or two.
+            let k = 1 + self.rng.random_range(0..=1);
+            for _ in 0..k {
+                let c = category_ids[self.rng.random_range(0..categories)];
+                self.edge(p, c);
+            }
+        }
+        let customer_ids: Vec<u64> = (0..customers)
+            .map(|i| self.node("customer", Value::Int(i as i64)))
+            .collect();
+        for _ in 0..reviews {
+            let rating = 1 + self.rng.random_range(0..=4) as i64;
+            let r = self.node("review", Value::Int(rating));
+            let c = customer_ids[self.rng.random_range(0..customers)];
+            self.edge(c, r);
+            // review → product: popular products collect more reviews.
+            let p = product_ids[self.skewed(products)];
+            self.edge(r, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = ScenarioConfig::default();
+        for scenario in Scenario::ALL {
+            let a = generate(scenario, &config);
+            let b = generate(scenario, &config);
+            assert_eq!(a.records(), b.records(), "{scenario} not deterministic");
+            let other = generate(
+                scenario,
+                &ScenarioConfig {
+                    seed: 7,
+                    ..config.clone()
+                },
+            );
+            assert_ne!(a.records(), other.records(), "{scenario} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn scenarios_have_distinct_label_schemas() {
+        let config = ScenarioConfig { scale: 40, seed: 1 };
+        let labels = |s: Scenario| -> Vec<String> {
+            let g = generate(s, &config).build_graph();
+            let mut names: Vec<String> = g
+                .interner()
+                .iter()
+                .map(|(_, name)| name.to_string())
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(labels(Scenario::Social), ["city", "post", "tag", "user"]);
+        assert_eq!(labels(Scenario::Citation), ["author", "paper", "venue"]);
+        assert_eq!(
+            labels(Scenario::ProductCatalog),
+            ["brand", "category", "customer", "product", "review"]
+        );
+    }
+
+    #[test]
+    fn social_degrees_are_skewed_citations_are_flat() {
+        let config = ScenarioConfig {
+            scale: 200,
+            seed: 3,
+        };
+        let social = generate(Scenario::Social, &config).build_graph();
+        let user = social.interner().get("user").unwrap();
+        let user_degrees: Vec<usize> = social
+            .nodes_with_label(user)
+            .iter()
+            .map(|&v| social.degree(v))
+            .collect();
+        let max = *user_degrees.iter().max().unwrap();
+        let avg = user_degrees.iter().sum::<usize>() as f64 / user_degrees.len() as f64;
+        assert!(
+            max as f64 > 4.0 * avg,
+            "expected hub users: max {max} vs avg {avg:.1}"
+        );
+
+        let citation = generate(Scenario::Citation, &config).build_graph();
+        let paper = citation.interner().get("paper").unwrap();
+        let max_out = citation
+            .nodes_with_label(paper)
+            .iter()
+            .map(|&v| citation.out_degree(v))
+            .max()
+            .unwrap();
+        // One venue edge plus at most five citations.
+        assert!(
+            max_out <= 6,
+            "citation out-degree should stay flat, got {max_out}"
+        );
+    }
+
+    #[test]
+    fn names_resolve() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_name(s.name()), Some(s));
+            assert!(!s.description().is_empty());
+        }
+        assert_eq!(Scenario::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests of the `bgpq` binary over the checked-in sample
+//! datasets under `data/` — the same commands CI's smoke step runs.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    // crates/cli -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+fn bgpq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bgpq"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let output = bgpq(args);
+    assert!(
+        output.status.success(),
+        "bgpq {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("bgpq_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// `load → discover → index → query`, the quick-start pipeline, for every
+/// checked-in scenario dataset.
+#[test]
+fn quick_start_pipeline_works_for_all_scenarios() {
+    let datasets = [
+        ("data/social.tsv", "data/queries/social.pat"),
+        ("data/citation.jsonl", "data/queries/citation.pat"),
+        ("data/products.jsonl", "data/queries/products.pat"),
+    ];
+    for (dataset, pattern) in datasets {
+        let load = stdout_of(&["load", dataset]);
+        assert!(load.contains("nodes:"), "{dataset}: {load}");
+
+        let discover = stdout_of(&["discover", dataset]);
+        assert!(discover.contains("discovered"), "{dataset}: {discover}");
+        assert!(discover.contains("->"), "{dataset}: {discover}");
+
+        let index = stdout_of(&["index", dataset]);
+        assert!(index.contains("total |index|"), "{dataset}: {index}");
+        assert!(!index.contains("OVER BOUND"), "{dataset}: {index}");
+
+        let query = stdout_of(&["query", dataset, "--pattern", pattern]);
+        assert!(
+            query.contains("strategy: bounded"),
+            "{dataset} should be served by the bounded tier: {query}"
+        );
+        assert!(query.contains("answer:"), "{dataset}: {query}");
+    }
+}
+
+/// Every checked-in query has matches, and forcing the three tiers returns
+/// the same answer count.
+#[test]
+fn strategies_agree_on_the_samples() {
+    let count_of = |out: &str| -> usize {
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("answer:"))
+            .expect("answer line");
+        line.split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .expect("numeric answer count")
+    };
+    for (dataset, pattern) in [
+        ("data/social.tsv", "data/queries/social.pat"),
+        ("data/citation.jsonl", "data/queries/citation.pat"),
+        ("data/products.jsonl", "data/queries/products.pat"),
+    ] {
+        let counts: Vec<usize> = ["bounded", "seeded", "baseline"]
+            .iter()
+            .map(|strategy| {
+                count_of(&stdout_of(&[
+                    "query",
+                    dataset,
+                    "--pattern",
+                    pattern,
+                    "--strategy",
+                    strategy,
+                ]))
+            })
+            .collect();
+        assert!(counts[0] > 0, "{dataset}: sample query has no matches");
+        assert_eq!(counts[0], counts[1], "{dataset}: bounded != seeded");
+        assert_eq!(counts[0], counts[2], "{dataset}: bounded != baseline");
+    }
+}
+
+/// A discovered schema round-trips through `--out` and `--schema`, and the
+/// explain path prints a plan.
+#[test]
+fn schema_serialization_feeds_back_into_query() {
+    let schema_path = temp_path("social.schema");
+    let schema_arg = schema_path.to_str().unwrap();
+    let discover = stdout_of(&["discover", "data/social.tsv", "--out", schema_arg]);
+    assert!(discover.contains("wrote"), "{discover}");
+
+    let query = stdout_of(&[
+        "query",
+        "data/social.tsv",
+        "--pattern",
+        "data/queries/social.pat",
+        "--schema",
+        schema_arg,
+        "--explain",
+    ]);
+    assert!(query.contains("strategy: bounded"), "{query}");
+    assert!(query.contains("plan ("), "{query}");
+    assert!(query.contains("fetch "), "{query}");
+}
+
+/// `gen --out` writes a dataset the loader accepts, in both formats.
+#[test]
+fn gen_output_is_loadable() {
+    for (name, flag) in [("e2e.tsv", "text"), ("e2e.jsonl", "jsonl")] {
+        let path = temp_path(name);
+        let path_arg = path.to_str().unwrap();
+        let gen = stdout_of(&[
+            "gen", "citation", "--scale", "30", "--seed", "7", "--format", flag, "--out", path_arg,
+        ]);
+        assert!(gen.contains("generated citation dataset"), "{gen}");
+        let load = stdout_of(&["load", path_arg]);
+        assert!(load.contains("paper"), "{load}");
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// Simulation semantics run end to end too.
+#[test]
+fn simulation_queries_work() {
+    let out = stdout_of(&[
+        "query",
+        "data/citation.jsonl",
+        "--pattern",
+        "data/queries/citation.pat",
+        "--semantics",
+        "sim",
+    ]);
+    assert!(out.contains("maximum simulation relation"), "{out}");
+}
+
+/// The serve-demo drives commits and reads over a sample dataset.
+#[test]
+fn serve_demo_runs_a_mixed_workload() {
+    let out = stdout_of(&[
+        "serve-demo",
+        "data/products.jsonl",
+        "--commits",
+        "3",
+        "--batch",
+        "6",
+        "--queries",
+        "10",
+    ]);
+    assert!(out.contains("commit 3 -> v3"), "{out}");
+    assert!(out.contains("queries/sec"), "{out}");
+    assert!(out.contains("plan cache @ v3"), "{out}");
+}
+
+/// Malformed datasets fail with the offending line number on stderr.
+#[test]
+fn malformed_input_reports_line_numbers() {
+    let path = temp_path("broken.tsv");
+    std::fs::write(&path, "n\t1\tuser\nx\t2\t3\n").unwrap();
+    let output = bgpq(&["load", path.to_str().unwrap()]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("line 2"), "stderr was: {stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+/// Unknown flags and missing arguments produce actionable errors.
+#[test]
+fn bad_invocations_fail_cleanly() {
+    let output = bgpq(&["query", "data/social.tssv"]);
+    assert!(!output.status.success());
+    let output = bgpq(&["load"]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("dataset"));
+    let output = bgpq(&["gen", "fantasy"]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown scenario"));
+    let output = bgpq(&["frobnicate"]);
+    assert!(!output.status.success());
+    let help = stdout_of(&["help"]);
+    assert!(help.contains("USAGE"));
+}

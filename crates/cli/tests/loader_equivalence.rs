@@ -1,0 +1,144 @@
+//! Loader-vs-generator equivalence and cross-format round trips.
+//!
+//! The scenario generators emit record streams that are consumed two ways:
+//! built directly into a `Graph`, or rendered to a dataset file and read
+//! back through the `bgpq-graph::io` loaders. These tests pin the contract
+//! that both paths produce identical graphs for every scenario — and that
+//! every lossless format round-trips `load → save → load` to the same
+//! graph.
+
+use bgpq_cli::scenario::{generate, same_graph, Scenario, ScenarioConfig};
+use bgpq_graph::io::{
+    read_graph, read_jsonl, save_graph, save_jsonl, write_edge_list, write_graph, write_jsonl,
+};
+use bgpq_graph::Graph;
+use std::io::Cursor;
+
+fn configs() -> Vec<ScenarioConfig> {
+    vec![
+        ScenarioConfig { scale: 30, seed: 1 },
+        ScenarioConfig {
+            scale: 100,
+            seed: 42,
+        },
+    ]
+}
+
+#[test]
+fn generator_and_text_loader_agree_for_every_scenario() {
+    for scenario in Scenario::ALL {
+        for config in configs() {
+            let dataset = generate(scenario, &config);
+            let direct = dataset.build_graph();
+            let loaded = read_graph(Cursor::new(dataset.to_text())).unwrap();
+            same_graph(&direct, &loaded).unwrap_or_else(|diff| {
+                panic!(
+                    "{scenario} (scale {}): text loader diverged: {diff}",
+                    config.scale
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn generator_and_jsonl_loader_agree_for_every_scenario() {
+    for scenario in Scenario::ALL {
+        for config in configs() {
+            let dataset = generate(scenario, &config);
+            let direct = dataset.build_graph();
+            let loaded = read_jsonl(Cursor::new(dataset.to_jsonl())).unwrap();
+            same_graph(&direct, &loaded).unwrap_or_else(|diff| {
+                panic!(
+                    "{scenario} (scale {}): jsonl loader diverged: {diff}",
+                    config.scale
+                )
+            });
+        }
+    }
+}
+
+/// `load → save → load` must be the identity for both lossless formats, in
+/// both directions (text-saved and jsonl-saved copies of the same graph).
+#[test]
+fn lossless_formats_round_trip_through_files() {
+    let dir = std::env::temp_dir().join("bgpq_cli_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    for scenario in Scenario::ALL {
+        let dataset = generate(scenario, &ScenarioConfig { scale: 40, seed: 9 });
+        let graph = dataset.build_graph();
+
+        let text_path = dir.join(format!("{scenario}.tsv"));
+        save_graph(&graph, &text_path).unwrap();
+        let reloaded_text = bgpq_graph::io::load_graph(&text_path).unwrap();
+        same_graph(&graph, &reloaded_text)
+            .unwrap_or_else(|diff| panic!("{scenario}: text file round trip: {diff}"));
+
+        let jsonl_path = dir.join(format!("{scenario}.jsonl"));
+        save_jsonl(&graph, &jsonl_path).unwrap();
+        let reloaded_jsonl = bgpq_graph::io::load_jsonl(&jsonl_path).unwrap();
+        same_graph(&graph, &reloaded_jsonl)
+            .unwrap_or_else(|diff| panic!("{scenario}: jsonl file round trip: {diff}"));
+
+        // Cross-format: text-reloaded and jsonl-reloaded agree too.
+        same_graph(&reloaded_text, &reloaded_jsonl)
+            .unwrap_or_else(|diff| panic!("{scenario}: cross-format divergence: {diff}"));
+
+        std::fs::remove_file(text_path).ok();
+        std::fs::remove_file(jsonl_path).ok();
+    }
+}
+
+/// In-memory round trips survive a second generation of serialization —
+/// write(read(write(g))) is byte-stable for the text format, so checked-in
+/// datasets don't churn when regenerated.
+#[test]
+fn text_serialization_is_stable() {
+    let dataset = generate(Scenario::Social, &ScenarioConfig { scale: 25, seed: 4 });
+    let graph = dataset.build_graph();
+    let mut first = Vec::new();
+    write_graph(&graph, &mut first).unwrap();
+    let reloaded: Graph = read_graph(Cursor::new(first.clone())).unwrap();
+    let mut second = Vec::new();
+    write_graph(&reloaded, &mut second).unwrap();
+    assert_eq!(first, second);
+}
+
+/// The edge list format is documented as lossy: labels and values are
+/// dropped, and nodes only exist by appearing in an edge — so isolated
+/// nodes vanish. Everything that survives (the degree structure of the
+/// non-isolated subgraph) must be preserved exactly.
+#[test]
+fn edge_list_preserves_structure() {
+    let dataset = generate(Scenario::Citation, &ScenarioConfig { scale: 30, seed: 2 });
+    let graph = dataset.build_graph();
+    let mut buf = Vec::new();
+    write_edge_list(&graph, &mut buf).unwrap();
+    let reloaded = bgpq_graph::io::read_edge_list(Cursor::new(buf), "node").unwrap();
+    let connected = graph.nodes().filter(|&v| graph.degree(v) > 0).count();
+    assert_eq!(reloaded.node_count(), connected);
+    assert_eq!(reloaded.edge_count(), graph.edge_count());
+    let degrees = |g: &Graph| -> Vec<usize> {
+        let mut d: Vec<usize> = g.nodes().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
+        d.sort_unstable();
+        d
+    };
+    assert_eq!(degrees(&graph), degrees(&reloaded));
+}
+
+/// A jsonl save of the built graph reloads to the same graph as parsing the
+/// generator's own jsonl emission — the writer and the emitter stay
+/// interchangeable even though they order records differently.
+#[test]
+fn emitted_jsonl_and_saved_jsonl_load_identically() {
+    let dataset = generate(
+        Scenario::ProductCatalog,
+        &ScenarioConfig { scale: 20, seed: 5 },
+    );
+    let graph = dataset.build_graph();
+    let mut saved = Vec::new();
+    write_jsonl(&graph, &mut saved).unwrap();
+    let from_saved = read_jsonl(Cursor::new(saved)).unwrap();
+    let from_emitted = read_jsonl(Cursor::new(dataset.to_jsonl())).unwrap();
+    same_graph(&from_saved, &from_emitted).unwrap();
+}

@@ -54,9 +54,9 @@ pub use strategy::{Baseline, Bounded, IndexSeeded, Strategy, StrategyKind, Strat
 // The workspace's request-facing surface, re-exported so applications can
 // depend on `bgpq-engine` alone.
 pub use bgpq_access::{
-    apply_delta, apply_deltas, check_schema, discover_schema, AccessConstraint, AccessIndexSet,
-    AccessSchema, ConstraintId, ConstraintIndex, DiscoveryConfig, GraphDelta, MaintenanceStats,
-    TouchedNodes,
+    apply_delta, apply_deltas, check_schema, discover_schema, load_schema, read_schema,
+    save_schema, write_schema, AccessConstraint, AccessIndexSet, AccessSchema, ConstraintId,
+    ConstraintIndex, ConstraintKind, DiscoveryConfig, GraphDelta, MaintenanceStats, TouchedNodes,
 };
 pub use bgpq_core::{
     bounded_simulation_match, bounded_simulation_match_planned, bounded_subgraph_match,
@@ -64,11 +64,14 @@ pub use bgpq_core::{
     FetchResult, FetchStats, PlanError, QueryPlan, Semantics,
 };
 pub use bgpq_graph::{
-    FragmentView, Graph, GraphAccess, GraphBuilder, GraphError, ScratchArena, Subgraph,
+    FragmentView, Graph, GraphAccess, GraphBuilder, GraphError, Label, LabelInterner, NodeId,
+    ScratchArena, Subgraph, Value,
 };
 pub use bgpq_matching::{
     opt_simulation_match, opt_simulation_match_stats, opt_subgraph_match, opt_subgraph_match_stats,
     simulation_match, Match, MatchSet, SeedStats, SimulationMatcher, SimulationRelation,
     SubgraphMatcher, Vf2Config, Vf2Stats,
 };
-pub use bgpq_pattern::{Pattern, PatternBuilder, PatternFingerprint, Predicate, WorkloadGenerator};
+pub use bgpq_pattern::{
+    parse_pattern, Pattern, PatternBuilder, PatternFingerprint, Predicate, WorkloadGenerator,
+};

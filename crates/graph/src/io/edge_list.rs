@@ -1,0 +1,218 @@
+//! Plain edge-list ingestion (`src dst` pairs, SNAP-style).
+//!
+//! Many published graph datasets ship as nothing but an edge list: one
+//! whitespace- or tab-separated `src dst` pair per line, `#` or `%` comment
+//! lines, no labels. This reader streams such files into a
+//! [`GraphBuilder`]: nodes are declared implicitly by their first
+//! appearance, all carry the same configurable label, and each node's
+//! attribute value records its external id (as [`Value::Int`]) so loaded
+//! graphs keep a handle back to the source dataset.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Label given to every implicitly declared node of an edge list.
+pub const DEFAULT_EDGE_LIST_LABEL: &str = "node";
+
+/// Parses an edge list with the default node label.
+///
+/// # Examples
+///
+/// ```
+/// use bgpq_graph::io::read_edge_list;
+///
+/// let text = "# a triangle, SNAP-style\n1\t2\n2\t3\n3\t1\n";
+/// let g = read_edge_list(std::io::Cursor::new(text), "node").unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// // External ids are kept as the nodes' attribute values.
+/// assert_eq!(g.value(bgpq_graph::NodeId(0)), &bgpq_graph::Value::Int(1));
+/// ```
+pub fn read_edge_list<R: BufRead>(reader: R, label: &str) -> Result<Graph> {
+    let mut builder = GraphBuilder::new();
+    let interned = builder.intern_label(label);
+    let mut id_map: HashMap<u64, NodeId> = HashMap::new();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_num = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let src = parse_endpoint(tokens.next(), line_num, "source")?;
+        let dst = parse_endpoint(tokens.next(), line_num, "destination")?;
+        if let Some(extra) = tokens.next() {
+            return Err(GraphError::Parse {
+                line: line_num,
+                message: format!("unexpected trailing token {extra:?} (expected `src dst`)"),
+            });
+        }
+        let mut intern = |external: u64| {
+            *id_map.entry(external).or_insert_with(|| {
+                // Ids beyond i64 (64-bit hashes) keep their identity as a
+                // string value instead of wrapping negative.
+                let value = i64::try_from(external)
+                    .map(Value::Int)
+                    .unwrap_or_else(|_| Value::Str(external.to_string()));
+                builder.add_node_labeled(interned, value)
+            })
+        };
+        let s = intern(src);
+        let d = intern(dst);
+        edges.push((s, d));
+    }
+    builder.add_edges(edges)?;
+    Ok(builder.build())
+}
+
+/// Loads an edge-list file with the given node label.
+pub fn load_edge_list(path: impl AsRef<Path>, label: &str) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file), label)
+}
+
+/// Writes a graph as a plain edge list (node labels and values are **not**
+/// representable in this format and are dropped; external ids are the
+/// contiguous live node ids). Round-tripping therefore preserves structure,
+/// not attributes — use the text or JSONL formats for lossless saves.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# bgpq edge list: {} nodes, {} edges",
+        graph.live_node_count(),
+        graph.edge_count()
+    )?;
+    for e in graph.edges() {
+        writeln!(w, "{}\t{}", e.src.0, e.dst.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a graph as an edge-list file.
+pub fn save_edge_list(graph: &Graph, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+fn parse_endpoint(token: Option<&str>, line: usize, what: &str) -> Result<u64> {
+    let Some(token) = token else {
+        return Err(GraphError::Parse {
+            line,
+            message: format!("missing edge {what}"),
+        });
+    };
+    token.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid edge {what} {token:?} (expected an unsigned integer)"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_nodes_in_first_appearance_order() {
+        let text = "5 9\n9 5\n5 7\n";
+        let g = read_edge_list(std::io::Cursor::new(text), "host").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        // 5 appears first, then 9, then 7.
+        assert_eq!(g.value(NodeId(0)), &Value::Int(5));
+        assert_eq!(g.value(NodeId(1)), &Value::Int(9));
+        assert_eq!(g.value(NodeId(2)), &Value::Int(7));
+        assert_eq!(g.label_name(NodeId(0)), "host");
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn comments_blank_lines_and_duplicates() {
+        let text = "# snap header\n% matrix-market header\n\n1 2\n1 2\n";
+        let g = read_edge_list(std::io::Cursor::new(text), "node").unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1, "duplicate edges are deduplicated");
+    }
+
+    #[test]
+    fn self_loops_are_kept() {
+        let g = read_edge_list(std::io::Cursor::new("3 3\n"), "node").unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn ids_beyond_i64_keep_identity_as_strings() {
+        let huge = u64::MAX;
+        let text = format!("{huge} 1\n");
+        let g = read_edge_list(std::io::Cursor::new(text), "node").unwrap();
+        assert_eq!(g.value(NodeId(0)), &Value::Str(huge.to_string()));
+        assert_eq!(g.value(NodeId(1)), &Value::Int(1));
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let missing = "1 2\n3\n";
+        let err = read_edge_list(std::io::Cursor::new(missing), "node").unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 2, ref message } if message.contains("destination")),
+            "got {err:?}"
+        );
+
+        let non_numeric = "a 2\n";
+        let err = read_edge_list(std::io::Cursor::new(non_numeric), "node").unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 1, .. }),
+            "got {err:?}"
+        );
+
+        let trailing = "1 2 3\n";
+        let err = read_edge_list(std::io::Cursor::new(trailing), "node").unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 1, ref message } if message.contains("trailing")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn structural_round_trip() {
+        let text = "0 1\n1 2\n2 0\n2 2\n";
+        let g = read_edge_list(std::io::Cursor::new(text), "node").unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(std::io::Cursor::new(buf), "node").unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let edges =
+            |g: &Graph| -> Vec<(u32, u32)> { g.edges().map(|e| (e.src.0, e.dst.0)).collect() };
+        let (mut a, mut b) = (edges(&g), edges(&g2));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bgpq_edge_list_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+        let g = read_edge_list(std::io::Cursor::new("1 2\n2 3\n"), "node").unwrap();
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path, "node").unwrap();
+        assert_eq!(g2.node_count(), 3);
+        assert_eq!(g2.edge_count(), 2);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,380 @@
+//! JSON-lines dataset ingestion (one node or edge record per line).
+//!
+//! The format is the interchange shape most export pipelines can produce
+//! with one `jq` invocation: every non-blank line is a single JSON object,
+//! either
+//!
+//! ```text
+//! {"type": "node", "id": 7, "label": "user", "value": "alice"}
+//! {"type": "edge", "src": 7, "dst": 9}
+//! ```
+//!
+//! `value` is optional (`null` or absent means [`Value::Null`]) and may be a
+//! JSON number (integral numbers load as [`Value::Int`], others as
+//! [`Value::Float`]), a string or a boolean. Unknown fields are rejected so
+//! typos (`"val"`, `"lable"`) surface as parse errors instead of silently
+//! dropped attributes. Edges may reference nodes declared later in the
+//! file; ids are remapped to contiguous [`NodeId`]s in declaration order.
+//!
+//! Two JSON-inherited limits (the text format has neither): ids must fit in
+//! `i64` (larger `u64`s would lose precision through JSON's number type),
+//! and non-finite float values cannot be written — [`write_jsonl`] rejects
+//! them instead of emitting an unparseable `NaN` token.
+
+use super::json::{json_float_token, parse_json, write_json_string, Json};
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parses a graph from the JSON-lines format.
+///
+/// # Examples
+///
+/// ```
+/// use bgpq_graph::io::read_jsonl;
+/// use bgpq_graph::{NodeId, Value};
+///
+/// let text = concat!(
+///     "{\"type\":\"node\",\"id\":1,\"label\":\"movie\",\"value\":\"Argo\"}\n",
+///     "{\"type\":\"node\",\"id\":2,\"label\":\"year\",\"value\":2012}\n",
+///     "{\"type\":\"edge\",\"src\":2,\"dst\":1}\n",
+/// );
+/// let g = read_jsonl(std::io::Cursor::new(text)).unwrap();
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.value(NodeId(1)), &Value::Int(2012));
+/// assert!(g.has_edge(NodeId(1), NodeId(0)));
+/// ```
+pub fn read_jsonl<R: BufRead>(reader: R) -> Result<Graph> {
+    let mut builder = GraphBuilder::new();
+    let mut id_map: HashMap<u64, NodeId> = HashMap::new();
+    let mut pending_edges: Vec<(u64, u64, usize)> = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_num = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let record = parse_json(trimmed).map_err(|e| GraphError::Parse {
+            line: line_num,
+            message: e.to_string(),
+        })?;
+        let Json::Obj(ref fields) = record else {
+            return Err(parse_error(
+                line_num,
+                format!("expected a JSON object, got {}", record.type_name()),
+            ));
+        };
+        let kind = field_str(&record, "type", line_num)?;
+        match kind {
+            "node" => {
+                check_known_fields(fields, &["type", "id", "label", "value"], line_num)?;
+                let id = field_u64(&record, "id", line_num)?;
+                let label = field_str(&record, "label", line_num)?;
+                let value = match record.get("value") {
+                    None | Some(Json::Null) => Value::Null,
+                    Some(Json::Bool(b)) => Value::Bool(*b),
+                    Some(Json::Int(i)) => Value::Int(*i),
+                    Some(Json::Float(f)) => Value::Float(*f),
+                    Some(Json::Str(s)) => Value::Str(s.clone()),
+                    Some(other) => {
+                        return Err(parse_error(
+                            line_num,
+                            format!("node \"value\" cannot be a JSON {}", other.type_name()),
+                        ));
+                    }
+                };
+                if id_map.contains_key(&id) {
+                    return Err(GraphError::DuplicateNode(id));
+                }
+                let node = builder.add_node(label, value);
+                id_map.insert(id, node);
+            }
+            "edge" => {
+                check_known_fields(fields, &["type", "src", "dst"], line_num)?;
+                let src = field_u64(&record, "src", line_num)?;
+                let dst = field_u64(&record, "dst", line_num)?;
+                pending_edges.push((src, dst, line_num));
+            }
+            other => {
+                return Err(parse_error(
+                    line_num,
+                    format!("unknown record type {other:?} (expected \"node\" or \"edge\")"),
+                ));
+            }
+        }
+    }
+
+    for (src, dst, line) in pending_edges {
+        let (Some(&s), Some(&d)) = (id_map.get(&src), id_map.get(&dst)) else {
+            return Err(parse_error(
+                line,
+                format!("edge ({src}, {dst}) references an undeclared node"),
+            ));
+        };
+        builder.add_edge(s, d)?;
+    }
+    Ok(builder.build())
+}
+
+/// Loads a graph from a JSON-lines file.
+pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    read_jsonl(std::io::BufReader::new(file))
+}
+
+/// Serializes a graph into the JSON-lines format. Like
+/// [`write_graph`](super::write_graph), tombstoned slots are skipped, so a
+/// save/load round trip of a mutated graph yields the live content with
+/// compacted ids.
+pub fn write_jsonl<W: Write>(graph: &Graph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    let mut line = String::new();
+    for v in graph.nodes().filter(|&v| graph.is_live(v)) {
+        line.clear();
+        line.push_str("{\"type\":\"node\",\"id\":");
+        line.push_str(&v.0.to_string());
+        line.push_str(",\"label\":");
+        write_json_string(&mut line, &graph.label_name(v));
+        match graph.value(v) {
+            Value::Null => {}
+            Value::Bool(b) => {
+                line.push_str(",\"value\":");
+                line.push_str(if *b { "true" } else { "false" });
+            }
+            Value::Int(i) => {
+                line.push_str(",\"value\":");
+                line.push_str(&i.to_string());
+            }
+            Value::Float(x) => {
+                let token = json_float_token(*x).ok_or_else(|| {
+                    GraphError::Io(format!(
+                        "node {} has the non-finite value {x}, which JSON cannot \
+                         represent; use the text format for such graphs",
+                        v.0
+                    ))
+                })?;
+                line.push_str(",\"value\":");
+                line.push_str(&token);
+            }
+            Value::Str(s) => {
+                line.push_str(",\"value\":");
+                write_json_string(&mut line, s);
+            }
+        }
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    for e in graph.edges() {
+        writeln!(
+            w,
+            "{{\"type\":\"edge\",\"src\":{},\"dst\":{}}}",
+            e.src.0, e.dst.0
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a graph to a JSON-lines file.
+pub fn save_jsonl(graph: &Graph, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_jsonl(graph, file)
+}
+
+fn parse_error(line: usize, message: String) -> GraphError {
+    GraphError::Parse { line, message }
+}
+
+fn field_str<'a>(record: &'a Json, key: &str, line: usize) -> Result<&'a str> {
+    let value = record
+        .get(key)
+        .ok_or_else(|| parse_error(line, format!("missing field {key:?}")))?;
+    value.as_str().ok_or_else(|| {
+        parse_error(
+            line,
+            format!("field {key:?} must be a string, got {}", value.type_name()),
+        )
+    })
+}
+
+fn field_u64(record: &Json, key: &str, line: usize) -> Result<u64> {
+    let value = record
+        .get(key)
+        .ok_or_else(|| parse_error(line, format!("missing field {key:?}")))?;
+    value.as_u64().ok_or_else(|| {
+        parse_error(
+            line,
+            format!(
+                "field {key:?} must be a non-negative integer, got {}",
+                value.type_name()
+            ),
+        )
+    })
+}
+
+fn check_known_fields(fields: &[(String, Json)], known: &[&str], line: usize) -> Result<()> {
+    for (key, _) in fields {
+        if !known.contains(&key.as_str()) {
+            return Err(parse_error(
+                line,
+                format!("unknown field {key:?} (expected one of {known:?})"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_with_all_value_types() -> Graph {
+        let mut b = GraphBuilder::new();
+        let m = b.add_node("movie", Value::str("Argo \"the\" film\n"));
+        let y = b.add_node("year", Value::Int(2012));
+        let r = b.add_node("rating", Value::Float(7.0));
+        let f = b.add_node("flag", Value::Bool(true));
+        let n = b.add_node("misc", Value::Null);
+        b.add_edge(y, m).unwrap();
+        b.add_edge(m, r).unwrap();
+        b.add_edge(m, f).unwrap();
+        b.add_edge(m, n).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_labels_values_and_edges() {
+        let g = graph_with_all_value_types();
+        let mut buf = Vec::new();
+        write_jsonl(&g, &mut buf).unwrap();
+        let g2 = read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(g2.label_name(v), g.label_name(v));
+            assert_eq!(g2.value(v), g.value(v));
+        }
+        // A whole float must reload as Float, not Int.
+        assert_eq!(g2.value(NodeId(2)), &Value::Float(7.0));
+    }
+
+    #[test]
+    fn edges_may_precede_nodes() {
+        let text = concat!(
+            "{\"type\":\"edge\",\"src\":1,\"dst\":2}\n",
+            "{\"type\":\"node\",\"id\":1,\"label\":\"a\"}\n",
+            "{\"type\":\"node\",\"id\":2,\"label\":\"b\"}\n",
+        );
+        let g = read_jsonl(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn diagnostics_carry_line_numbers() {
+        let bad_json = "{\"type\":\"node\",\"id\":1,\"label\":\"a\"}\n{oops}\n";
+        let err = read_jsonl(std::io::Cursor::new(bad_json)).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 2, .. }),
+            "got {err:?}"
+        );
+
+        let missing_label = "{\"type\":\"node\",\"id\":1}\n";
+        let err = read_jsonl(std::io::Cursor::new(missing_label)).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 1, ref message } if message.contains("label")),
+            "got {err:?}"
+        );
+
+        let unknown_field = "{\"type\":\"node\",\"id\":1,\"lable\":\"a\"}\n";
+        let err = read_jsonl(std::io::Cursor::new(unknown_field)).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 1, ref message } if message.contains("lable")),
+            "got {err:?}"
+        );
+
+        let bad_type = "\n\n{\"type\":\"hyperedge\",\"src\":1,\"dst\":2}\n";
+        let err = read_jsonl(std::io::Cursor::new(bad_type)).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 3, ref message } if message.contains("hyperedge")),
+            "got {err:?}"
+        );
+
+        let dangling = concat!(
+            "{\"type\":\"node\",\"id\":1,\"label\":\"a\"}\n",
+            "{\"type\":\"edge\",\"src\":1,\"dst\":9}\n",
+        );
+        let err = read_jsonl(std::io::Cursor::new(dangling)).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 2, .. }),
+            "got {err:?}"
+        );
+
+        let not_an_object = "[1, 2]\n";
+        let err = read_jsonl(std::io::Cursor::new(not_an_object)).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 1, ref message } if message.contains("object")),
+            "got {err:?}"
+        );
+
+        let dup = concat!(
+            "{\"type\":\"node\",\"id\":5,\"label\":\"a\"}\n",
+            "{\"type\":\"node\",\"id\":5,\"label\":\"b\"}\n",
+        );
+        let err = read_jsonl(std::io::Cursor::new(dup)).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateNode(5)), "got {err:?}");
+
+        let bad_value = "{\"type\":\"node\",\"id\":1,\"label\":\"a\",\"value\":[1]}\n";
+        let err = read_jsonl(std::io::Cursor::new(bad_value)).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 1, ref message } if message.contains("array")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_on_write() {
+        let mut b = GraphBuilder::new();
+        b.add_node("x", Value::Float(f64::NAN));
+        let g = b.build();
+        let err = write_jsonl(&g, &mut Vec::new()).unwrap_err();
+        assert!(
+            err.to_string().contains("non-finite"),
+            "expected a clear rejection, got {err}"
+        );
+        let mut b = GraphBuilder::new();
+        b.add_node("x", Value::Float(f64::INFINITY));
+        let g = b.build();
+        assert!(write_jsonl(&g, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn non_contiguous_ids_are_remapped_in_declaration_order() {
+        let text = concat!(
+            "{\"type\":\"node\",\"id\":100,\"label\":\"a\"}\n",
+            "{\"type\":\"node\",\"id\":7,\"label\":\"b\"}\n",
+            "{\"type\":\"edge\",\"src\":100,\"dst\":7}\n",
+        );
+        let g = read_jsonl(std::io::Cursor::new(text)).unwrap();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bgpq_jsonl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.jsonl");
+        let g = graph_with_all_value_types();
+        save_jsonl(&g, &path).unwrap();
+        let g2 = load_jsonl(&path).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,17 +1,29 @@
-//! Plain-text interchange format for data graphs.
+//! Dataset ingestion and interchange formats for data graphs.
 //!
-//! The format is line oriented and intentionally simple so that externally
-//! prepared datasets (or scaled-down extracts of the paper's IMDb / DBpedia /
-//! WebBase graphs) can be loaded without extra dependencies:
+//! Three line-oriented formats are supported, all dependency-free and all
+//! reporting malformed input with 1-based line numbers
+//! ([`GraphError::Parse`]), so that externally prepared datasets (or
+//! scaled-down extracts of the paper's IMDb / DBpedia / WebBase graphs) can
+//! be ingested directly:
 //!
-//! ```text
-//! # comment
-//! n <id> <label> [value]        # value is int, float, "string" or omitted
-//! e <src-id> <dst-id>
-//! ```
+//! * **text / TSV** (this module): typed records, whitespace- or
+//!   tab-separated —
+//!   ```text
+//!   # comment
+//!   n <id> <label> [value]        # value is int, float, "string" or omitted
+//!   e <src-id> <dst-id>
+//!   ```
+//! * **edge list** ([`edge_list`]): plain `src dst` pairs (the shape of SNAP
+//!   and WebGraph dumps); nodes are declared implicitly and share one label;
+//! * **JSON lines** ([`jsonl`]): one JSON object per line,
+//!   `{"type":"node","id":…,"label":…,"value":…}` /
+//!   `{"type":"edge","src":…,"dst":…}`, parsed by a built-in minimal JSON
+//!   reader ([`json`]).
 //!
-//! Node ids in the file are arbitrary `u64`s; they are remapped to contiguous
-//! [`NodeId`]s on load and written back as the contiguous ids on save.
+//! Node ids in a file are arbitrary `u64`s (JSON lines: up to `i64::MAX`,
+//! a limit of JSON's number type); they are remapped to contiguous
+//! [`NodeId`]s on load (in declaration order) and written back as the
+//! contiguous ids on save.
 
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
@@ -21,6 +33,15 @@ use crate::Result;
 use std::collections::HashMap;
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
+
+pub mod edge_list;
+pub mod json;
+pub mod jsonl;
+
+pub use edge_list::{
+    load_edge_list, read_edge_list, save_edge_list, write_edge_list, DEFAULT_EDGE_LIST_LABEL,
+};
+pub use jsonl::{load_jsonl, read_jsonl, save_jsonl, write_jsonl};
 
 /// Parses a graph from the text format.
 pub fn read_graph<R: BufRead>(reader: R) -> Result<Graph> {
@@ -113,12 +134,9 @@ pub fn write_graph<W: Write>(graph: &Graph, writer: W) -> Result<()> {
     )?;
     for v in graph.nodes().filter(|&v| graph.is_live(v)) {
         let label = format_label(&graph.label_name(v));
-        match graph.value(v) {
-            Value::Null => writeln!(w, "n {} {}", v.0, label)?,
-            Value::Int(i) => writeln!(w, "n {} {} {}", v.0, label, i)?,
-            Value::Float(x) => writeln!(w, "n {} {} {}", v.0, label, x)?,
-            Value::Bool(b) => writeln!(w, "n {} {} {}", v.0, label, b)?,
-            Value::Str(s) => writeln!(w, "n {} {} {:?}", v.0, label, s)?,
+        match format_value(graph.value(v)) {
+            None => writeln!(w, "n {} {}", v.0, label)?,
+            Some(token) => writeln!(w, "n {} {} {}", v.0, label, token)?,
         }
     }
     for e in graph.edges() {
@@ -132,6 +150,21 @@ pub fn write_graph<W: Write>(graph: &Graph, writer: W) -> Result<()> {
 pub fn save_graph(graph: &Graph, path: impl AsRef<Path>) -> Result<()> {
     let file = std::fs::File::create(path)?;
     write_graph(graph, file)
+}
+
+/// Renders a value as a text-format token that the reader parses back to
+/// the same value: `None` for [`Value::Null`] (the token is omitted), the
+/// `{:?}`-quoted string for [`Value::Str`], and a numeral otherwise. Whole
+/// floats keep a decimal point (`7.0`, not `7`) so they reload as floats.
+pub fn format_value(value: &Value) -> Option<String> {
+    match value {
+        Value::Null => None,
+        Value::Int(i) => Some(i.to_string()),
+        Value::Float(x) if x.fract() == 0.0 && x.is_finite() => Some(format!("{x:.1}")),
+        Value::Float(x) => Some(x.to_string()),
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Str(s) => Some(format!("{s:?}")),
+    }
 }
 
 /// Splits off the first whitespace-delimited token, returning it and the
@@ -320,6 +353,19 @@ mod tests {
         let dangling = "n 1 a\ne 1 9\n";
         let err = read_graph(std::io::Cursor::new(dangling)).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn whole_floats_round_trip_as_floats() {
+        let mut b = GraphBuilder::new();
+        b.add_node("rating", Value::Float(7.0));
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(g2.value(NodeId(0)), &Value::Float(7.0));
+        assert_eq!(format_value(&Value::Float(7.0)), Some("7.0".into()));
+        assert_eq!(format_value(&Value::Null), None);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   (adjacency built once into a reusable [`ScratchArena`]);
 //! * [`stats`] — degree / label-frequency statistics used when discovering
 //!   access constraints;
-//! * [`io`] — a plain-text interchange format for graphs.
+//! * [`io`] — dataset ingestion: a plain-text interchange format, plain
+//!   edge lists (SNAP-style) and a JSON-lines node+edge format, all with
+//!   line-numbered diagnostics.
 //!
 //! Everything here is deliberately free of any pattern-matching or
 //! access-constraint logic: those live in `bgpq-pattern`, `bgpq-access`,

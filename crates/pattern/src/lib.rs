@@ -24,6 +24,7 @@
 pub mod builder;
 pub mod fingerprint;
 pub mod generator;
+pub mod parse;
 pub mod pattern;
 pub mod predicate;
 pub mod rng;
@@ -31,6 +32,7 @@ pub mod rng;
 pub use builder::PatternBuilder;
 pub use fingerprint::PatternFingerprint;
 pub use generator::{GeneratorConfig, WorkloadGenerator};
+pub use parse::parse_pattern;
 pub use pattern::{Pattern, PatternNodeId};
 pub use predicate::{Atom, Op, Predicate};
 pub use rng::DetRng;

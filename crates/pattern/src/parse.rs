@@ -1,0 +1,490 @@
+//! A small textual syntax for pattern queries.
+//!
+//! Patterns built in code use [`PatternBuilder`]; tools (the `bgpq` CLI, test
+//! fixtures, saved workloads) need a file format. The syntax is line
+//! oriented:
+//!
+//! ```text
+//! # Oscar-winning movies of 2011-2013 and their actors (Fig. 1 of the paper)
+//! node m: movie
+//! node y: year  where value >= 2011 && value <= 2013
+//! node a: actor
+//! edge y -> m
+//! edge m -> a
+//! ```
+//!
+//! * `node <name>: <label> [where <atom> && <atom> ...]` declares a pattern
+//!   node. The name is local to the file (used by `edge` lines and carried
+//!   into [`Pattern::node_name`] for diagnostics); the label is interned.
+//! * An atom is `[value] <op> <literal>` with `op` one of
+//!   `= == != < <= > >=` and a literal that is an integer, a float, `true`,
+//!   `false`, a `"quoted string"` (escapes `\"`, `\\`, `\n`, `\r`, `\t`) or
+//!   a bare word (taken as a string).
+//! * `edge <a> -> <b> [-> <c> ...]` declares the edges of a path through
+//!   previously declared nodes.
+//! * Blank lines and lines starting with `#` are ignored.
+//!
+//! Malformed input is reported with 1-based line numbers via
+//! [`GraphError::Parse`], the same diagnostic shape the dataset loaders in
+//! `bgpq-graph::io` use.
+
+use crate::builder::PatternBuilder;
+use crate::pattern::Pattern;
+use crate::predicate::{Atom, Op, Predicate};
+use bgpq_graph::{GraphError, LabelInterner, Value};
+use std::collections::HashMap;
+
+/// Parses the textual pattern syntax into a [`Pattern`].
+///
+/// Build against the interner of the graph the pattern will be evaluated on
+/// (`graph.interner().clone()`) so label ids line up — the same contract as
+/// [`PatternBuilder::with_interner`].
+///
+/// # Examples
+///
+/// ```
+/// use bgpq_pattern::parse::parse_pattern;
+/// use bgpq_graph::LabelInterner;
+///
+/// let text = "
+/// node m: movie
+/// node y: year where value >= 2011 && value <= 2013
+/// edge y -> m
+/// ";
+/// let q = parse_pattern(text, LabelInterner::new()).unwrap();
+/// assert_eq!(q.node_count(), 2);
+/// assert_eq!(q.edge_count(), 1);
+/// assert_eq!(q.node_name(bgpq_pattern::PatternNodeId(0)), Some("m"));
+/// ```
+pub fn parse_pattern(text: &str, interner: LabelInterner) -> Result<Pattern, GraphError> {
+    let mut builder = PatternBuilder::with_interner(interner);
+    let mut names: HashMap<String, crate::pattern::PatternNodeId> = HashMap::new();
+    let mut line_count = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line_num = lineno + 1;
+        line_count = line_num;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        // The keyword is any-whitespace-delimited (tab-separated files work).
+        let (keyword, rest) = match trimmed.find(char::is_whitespace) {
+            Some(i) => (&trimmed[..i], trimmed[i..].trim_start()),
+            None => (trimmed, ""),
+        };
+        if keyword == "node" {
+            let (name, label, predicate) = parse_node_line(rest, line_num)?;
+            if names.contains_key(&name) {
+                return Err(parse_error(
+                    line_num,
+                    format!("pattern node {name:?} declared twice"),
+                ));
+            }
+            let id = builder.named_node(&name, &label, predicate);
+            names.insert(name, id);
+        } else if keyword == "edge" {
+            let hops: Vec<&str> = rest.split("->").map(str::trim).collect();
+            if hops.len() < 2 {
+                return Err(parse_error(
+                    line_num,
+                    "edge line needs at least `a -> b`".into(),
+                ));
+            }
+            let resolve = |name: &str| {
+                names.get(name).copied().ok_or_else(|| {
+                    parse_error(
+                        line_num,
+                        format!("edge references undeclared node {name:?}"),
+                    )
+                })
+            };
+            let mut prev = resolve(hops[0])?;
+            for hop in &hops[1..] {
+                let next = resolve(hop)?;
+                builder.edge(prev, next);
+                prev = next;
+            }
+        } else {
+            return Err(parse_error(
+                line_num,
+                format!("unknown directive {keyword:?} (expected `node` or `edge`)"),
+            ));
+        }
+    }
+
+    if builder.node_count() == 0 {
+        return Err(parse_error(
+            line_count.max(1),
+            "pattern declares no nodes".into(),
+        ));
+    }
+    Ok(builder.build())
+}
+
+/// `<name>: <label> [where <atoms>]` (after the `node ` keyword).
+fn parse_node_line(rest: &str, line: usize) -> Result<(String, String, Predicate), GraphError> {
+    let Some((name, after_colon)) = rest.split_once(':') else {
+        return Err(parse_error(
+            line,
+            "node line needs `name: label` (missing ':')".into(),
+        ));
+    };
+    let name = name.trim();
+    if name.is_empty() || name.split_whitespace().count() != 1 {
+        return Err(parse_error(line, format!("invalid node name {:?}", name)));
+    }
+    let after_colon = after_colon.trim();
+    // The label is one token; whatever follows must be a `where` clause
+    // (any whitespace separates the tokens, so tab-separated files work).
+    let (label, remainder) = match after_colon.find(char::is_whitespace) {
+        None => (after_colon, ""),
+        Some(i) => (&after_colon[..i], after_colon[i..].trim_start()),
+    };
+    if label.is_empty() {
+        return Err(parse_error(
+            line,
+            format!("invalid node label {after_colon:?} (one bare token expected)"),
+        ));
+    }
+    if label == "where" {
+        return Err(parse_error(line, "missing label before `where`".into()));
+    }
+    let where_clause = if remainder.is_empty() {
+        None
+    } else {
+        let (keyword, clause) = match remainder.find(char::is_whitespace) {
+            None => (remainder, ""),
+            Some(i) => (&remainder[..i], remainder[i..].trim_start()),
+        };
+        if keyword != "where" {
+            return Err(parse_error(
+                line,
+                format!("unexpected text {remainder:?} after label (expected `where ...`)"),
+            ));
+        }
+        Some(clause)
+    };
+    let predicate = match where_clause {
+        None => Predicate::always(),
+        Some(clause) => {
+            let mut atoms = Vec::new();
+            for part in split_conjunction(clause) {
+                atoms.push(parse_atom(part.trim(), line)?);
+            }
+            Predicate::conjunction(atoms)
+        }
+    };
+    Ok((name.to_string(), label.to_string(), predicate))
+}
+
+/// Splits a `where` clause on `&&`, ignoring `&&` inside quoted strings.
+fn split_conjunction(clause: &str) -> Vec<&str> {
+    let bytes = clause.as_bytes();
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == b'\\' {
+                escaped = true;
+            } else if c == b'"' {
+                in_string = false;
+            }
+        } else if c == b'"' {
+            in_string = true;
+        } else if c == b'&' && i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+            parts.push(&clause[start..i]);
+            i += 2;
+            start = i;
+            continue;
+        }
+        i += 1;
+    }
+    parts.push(&clause[start..]);
+    parts
+}
+
+/// `[value] <op> <literal>`.
+fn parse_atom(text: &str, line: usize) -> Result<Atom, GraphError> {
+    if text.is_empty() {
+        return Err(parse_error(line, "empty predicate atom".into()));
+    }
+    let text = text.strip_prefix("value").map_or(text, str::trim_start);
+    let (op, rest) = if let Some(r) = text.strip_prefix("==") {
+        (Op::Eq, r)
+    } else if let Some(r) = text.strip_prefix("!=") {
+        (Op::Ne, r)
+    } else if let Some(r) = text.strip_prefix("<=") {
+        (Op::Le, r)
+    } else if let Some(r) = text.strip_prefix(">=") {
+        (Op::Ge, r)
+    } else if let Some(r) = text.strip_prefix('=') {
+        (Op::Eq, r)
+    } else if let Some(r) = text.strip_prefix('<') {
+        (Op::Lt, r)
+    } else if let Some(r) = text.strip_prefix('>') {
+        (Op::Gt, r)
+    } else {
+        return Err(parse_error(
+            line,
+            format!("expected a comparison operator in atom {text:?}"),
+        ));
+    };
+    let literal = parse_literal(rest.trim(), line)?;
+    Ok(Atom::new(op, literal))
+}
+
+fn parse_literal(raw: &str, line: usize) -> Result<Value, GraphError> {
+    if raw.is_empty() {
+        return Err(parse_error(line, "missing literal after operator".into()));
+    }
+    if let Some(inner) = raw.strip_prefix('"') {
+        // Scan for the closing quote with escape awareness, so a literal
+        // like `"abc\"` is rejected as unterminated (its quote is escaped)
+        // and `"a" b"` as trailing garbage, instead of silently yielding a
+        // wrong constant.
+        let mut escaped = false;
+        let mut closing = None;
+        for (i, c) in inner.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                closing = Some(i);
+                break;
+            }
+        }
+        let Some(end) = closing else {
+            return Err(parse_error(
+                line,
+                format!("unterminated string literal {raw:?}"),
+            ));
+        };
+        if !inner[end + 1..].trim().is_empty() {
+            return Err(parse_error(
+                line,
+                format!("unexpected text after string literal {raw:?}"),
+            ));
+        }
+        return Ok(Value::Str(unescape(&inner[..end])));
+    }
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    // Only tokens that look numeric are parsed as numbers; this keeps
+    // barewords like `inf` or `nan` strings, as the module doc promises.
+    let numeric_shape = raw
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.'));
+    if numeric_shape {
+        if let Ok(i) = raw.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(f) = raw.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    }
+    if raw.split_whitespace().count() == 1 {
+        return Ok(Value::str(raw));
+    }
+    Err(parse_error(
+        line,
+        format!("invalid literal {raw:?} (quote strings containing spaces)"),
+    ))
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn parse_error(line: usize, message: String) -> GraphError {
+    GraphError::Parse { line, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternNodeId;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let text = "
+# Q0 of Fig. 1
+node m: movie
+node y: year where value >= 2011 && value <= 2013
+node a: actor
+edge y -> m
+edge m -> a
+";
+        let q = parse_pattern(text, LabelInterner::new()).unwrap();
+        assert_eq!(q.node_count(), 3);
+        assert_eq!(q.edge_count(), 2);
+        let y = PatternNodeId(1);
+        assert_eq!(q.node_name(y), Some("y"));
+        assert_eq!(q.label_name(y), "year");
+        assert_eq!(q.predicate(y).len(), 2);
+        assert!(q.predicate(y).eval(&Value::Int(2012)));
+        assert!(!q.predicate(y).eval(&Value::Int(2010)));
+    }
+
+    #[test]
+    fn edge_chains_expand_to_paths() {
+        let text = "node a: x\nnode b: y\nnode c: z\nedge a -> b -> c\n";
+        let q = parse_pattern(text, LabelInterner::new()).unwrap();
+        assert_eq!(q.edge_count(), 2);
+        assert_eq!(q.children(PatternNodeId(0)), &[PatternNodeId(1)]);
+        assert_eq!(q.children(PatternNodeId(1)), &[PatternNodeId(2)]);
+    }
+
+    #[test]
+    fn atoms_support_all_operators_and_literal_types() {
+        let text = concat!(
+            "node a: t where = 1\n",
+            "node b: t where == 2\n",
+            "node c: t where != \"no && yes\"\n",
+            "node d: t where value < 1.5\n",
+            "node e: t where <= true\n",
+            "node f: t where > bareword\n",
+            "node g: t where >= -3\n",
+        );
+        let q = parse_pattern(text, LabelInterner::new()).unwrap();
+        let atom = |i: u32| q.predicate(PatternNodeId(i)).atoms()[0].clone();
+        assert_eq!(atom(0), Atom::new(Op::Eq, 1));
+        assert_eq!(atom(1), Atom::new(Op::Eq, 2));
+        assert_eq!(atom(2), Atom::new(Op::Ne, "no && yes"));
+        assert_eq!(atom(3), Atom::new(Op::Lt, 1.5));
+        assert_eq!(atom(4), Atom::new(Op::Le, true));
+        assert_eq!(atom(5), Atom::new(Op::Gt, "bareword"));
+        assert_eq!(atom(6), Atom::new(Op::Ge, -3));
+    }
+
+    #[test]
+    fn string_escapes_in_literals() {
+        let text = "node a: t where = \"line\\nbreak \\\"quoted\\\"\"\n";
+        let q = parse_pattern(text, LabelInterner::new()).unwrap();
+        assert_eq!(
+            q.predicate(PatternNodeId(0)).atoms()[0].constant,
+            Value::str("line\nbreak \"quoted\"")
+        );
+        // A trailing backslash is expressible with an escaped backslash.
+        let text = "node a: t where = \"path\\\\\"\n";
+        let q = parse_pattern(text, LabelInterner::new()).unwrap();
+        assert_eq!(
+            q.predicate(PatternNodeId(0)).atoms()[0].constant,
+            Value::str("path\\")
+        );
+    }
+
+    #[test]
+    fn malformed_string_literals_are_rejected() {
+        // The closing quote is escaped: the literal never terminates.
+        let err = parse_pattern("node a: t where = \"abc\\\"\n", LabelInterner::new()).unwrap_err();
+        assert!(err.to_string().contains("unterminated"), "got {err}");
+        // Text after the closing quote is garbage, not part of the value.
+        let err = parse_pattern("node a: t where = \"a\" b\"\n", LabelInterner::new()).unwrap_err();
+        assert!(
+            err.to_string().contains("after string literal"),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn non_numeric_barewords_stay_strings() {
+        // `inf` / `nan` would parse as f64 but the doc promises barewords
+        // are strings; a Float(NaN) constant would silently match nothing.
+        for word in ["inf", "nan", "NaN", "infinity"] {
+            let text = format!("node a: t where = {word}\n");
+            let q = parse_pattern(&text, LabelInterner::new()).unwrap();
+            assert_eq!(
+                q.predicate(PatternNodeId(0)).atoms()[0].constant,
+                Value::str(word),
+                "bareword {word:?} must stay a string"
+            );
+        }
+    }
+
+    #[test]
+    fn tab_separated_pattern_files_parse() {
+        let text = "node\tm:\tmovie\nnode\ty:\tyear\twhere\tvalue >= 2011\nedge\ty -> m\n";
+        let q = parse_pattern(text, LabelInterner::new()).unwrap();
+        assert_eq!(q.node_count(), 2);
+        assert_eq!(q.edge_count(), 1);
+        assert_eq!(q.predicate(PatternNodeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn interner_sharing_aligns_label_ids() {
+        let mut interner = LabelInterner::new();
+        let movie = interner.intern("movie");
+        let q = parse_pattern("node m: movie\n", interner).unwrap();
+        assert_eq!(q.label(PatternNodeId(0)), movie);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("node a movie\n", 1, "missing ':'"),
+            ("node a:\n", 1, "invalid node label"),
+            ("node : movie\n", 1, "invalid node name"),
+            ("node a: movie\nnode a: year\n", 2, "declared twice"),
+            ("node a: movie\nedge a\n", 2, "at least"),
+            ("node a: movie\nedge a -> z\n", 2, "undeclared node"),
+            ("node a: movie\nvertex b: x\n", 2, "unknown directive"),
+            ("node a: movie where\n", 1, "empty predicate atom"),
+            ("node a: movie extra\n", 1, "unexpected text"),
+            ("node a: m where value 5\n", 1, "comparison operator"),
+            ("node a: m where =\n", 1, "missing literal"),
+            ("node a: m where = \"open\n", 1, "unterminated string"),
+            ("node a: m where = two words\n", 1, "invalid literal"),
+            ("node a: m where = 1 && \n", 1, "empty predicate atom"),
+            ("# only comments\n", 1, "no nodes"),
+        ];
+        for (text, line, needle) in cases {
+            let err = parse_pattern(text, LabelInterner::new()).unwrap_err();
+            match err {
+                GraphError::Parse {
+                    line: l,
+                    ref message,
+                } => {
+                    assert_eq!(l, *line, "wrong line for {text:?}: {message}");
+                    assert!(
+                        message.contains(needle),
+                        "expected {needle:?} in {message:?} for {text:?}"
+                    );
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(parse_pattern("", LabelInterner::new()).is_err());
+    }
+}

@@ -119,6 +119,26 @@ pub struct ServerStats {
 ///   verdict) re-derive at the new version — retiring the superseded
 ///   entries — while readers pinned to old snapshots keep their own cache
 ///   population instead of fighting the current readers for slots.
+///
+/// ```
+/// use bgpq_engine::{AccessConstraint, AccessSchema, Value};
+/// use bgpq_graph::GraphBuilder;
+/// use bgpq_serve::Server;
+///
+/// let mut b = GraphBuilder::new();
+/// let y = b.add_node("year", Value::Int(2012));
+/// let m = b.add_node("movie", Value::str("Argo"));
+/// b.add_edge(y, m).unwrap();
+/// let graph = b.build();
+/// let year = graph.interner().get("year").unwrap();
+/// let schema = AccessSchema::from_constraints([AccessConstraint::global(year, 10)]);
+///
+/// let server = Server::new(graph, &schema);
+/// // Readers pin a snapshot once and keep it for as long as they like.
+/// let pinned = server.snapshot();
+/// assert_eq!(pinned.version(), 0);
+/// assert_eq!(server.version(), 0);
+/// ```
 pub struct Server {
     current: RwLock<Arc<Snapshot>>,
     cache: SharedPlanCache,
@@ -186,6 +206,36 @@ impl Server {
     /// indices incrementally, build the next engine and swap the snapshot
     /// pointer. Readers keep executing against their pinned versions
     /// throughout; an error leaves the served state untouched.
+    ///
+    /// ```
+    /// use bgpq_engine::{AccessConstraint, AccessSchema, NodeId, Value};
+    /// use bgpq_graph::GraphBuilder;
+    /// use bgpq_serve::{Server, Update};
+    ///
+    /// let mut b = GraphBuilder::new();
+    /// let y = b.add_node("year", Value::Int(2012));
+    /// b.add_node("movie", Value::str("Argo"));
+    /// let graph = b.build();
+    /// let year = graph.interner().get("year").unwrap();
+    /// let schema = AccessSchema::from_constraints([AccessConstraint::global(year, 10)]);
+    /// let server = Server::new(graph, &schema);
+    ///
+    /// // A reader pins version 0; the writer publishes version 1.
+    /// let pinned = server.snapshot();
+    /// let receipt = server
+    ///     .commit(&[
+    ///         Update::AddNode { label: "movie".into(), value: Value::str("Gravity") },
+    ///         Update::AddEdge { src: NodeId(0), dst: NodeId(2) },
+    ///     ])
+    ///     .unwrap();
+    /// assert_eq!(receipt.version, 1);
+    /// assert_eq!(receipt.new_nodes, vec![NodeId(2)]);
+    /// assert_eq!(receipt.deltas, 2);
+    ///
+    /// // The pinned snapshot still sees the old graph; the server the new.
+    /// assert_eq!(pinned.graph().node_count(), 2);
+    /// assert_eq!(server.snapshot().graph().node_count(), 3);
+    /// ```
     pub fn commit(&self, updates: &[Update]) -> Result<CommitReceipt, BgpqError> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let commit_started = Instant::now();

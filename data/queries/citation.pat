@@ -1,0 +1,7 @@
+# Recent papers (1995 or later), one paper they cite, and the venue the
+# citing paper appeared in — the paper's year/venue star shape.
+node p1: paper where value >= 1995
+node p2: paper
+node v: venue
+edge p1 -> p2
+edge p1 -> v

@@ -1,0 +1,8 @@
+# Glowing reviews (rating 4 and up), the product they review and its brand.
+# product -> brand is a functional dependency (bound 1), review -> product
+# as well, so the fetched fragment stays tiny.
+node r: review where value >= 4
+node pr: product
+node b: brand
+edge r -> pr
+edge pr -> b

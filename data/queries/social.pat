@@ -1,0 +1,9 @@
+# Early adopters (the first ten users) with their posts and the tags those
+# posts carry. Effectively bounded under the discovered social schema:
+# posts are fetched through (user) -> (post, N), tags through
+# (post) -> (tag, N).
+node u: user where value < 10
+node p: post
+node t: tag
+edge u -> p
+edge p -> t

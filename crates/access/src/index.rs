@@ -25,23 +25,23 @@ pub const DEFAULT_MAX_COMBINATIONS_PER_NODE: usize = 4096;
 /// The index of a single access constraint.
 #[derive(Debug, Clone)]
 pub struct ConstraintIndex {
-    constraint: AccessConstraint,
+    pub(crate) constraint: AccessConstraint,
     /// Sorted `S`-labeled node tuple → common neighbors labeled `l`.
     /// Global constraints use the empty key.
-    map: HashMap<Vec<NodeId>, Vec<NodeId>>,
+    pub(crate) map: HashMap<Vec<NodeId>, Vec<NodeId>>,
     /// Target node → keys it appears under (for incremental maintenance).
-    reverse: HashMap<NodeId, Vec<Vec<NodeId>>>,
+    pub(crate) reverse: HashMap<NodeId, Vec<Vec<NodeId>>>,
     /// Largest answer set over all keys.
-    max_cardinality: usize,
+    pub(crate) max_cardinality: usize,
     /// Target nodes whose combination enumeration hit the cap. Tracked per
     /// node (not as a sticky flag) so that maintenance removing or repairing
     /// a capped node's contribution leaves the truncation verdict exactly
     /// where a fresh rebuild would put it.
-    capped_targets: HashSet<NodeId>,
+    pub(crate) capped_targets: HashSet<NodeId>,
     /// The per-node combination cap this index was built with. Incremental
     /// maintenance reuses it so refreshed contributions are enumerated
     /// exactly like a fresh build's.
-    cap: usize,
+    pub(crate) cap: usize,
 }
 
 impl ConstraintIndex {
@@ -260,8 +260,8 @@ impl ConstraintIndex {
 /// One [`ConstraintIndex`] per constraint of an [`AccessSchema`].
 #[derive(Debug, Clone)]
 pub struct AccessIndexSet {
-    schema: AccessSchema,
-    indices: Vec<ConstraintIndex>,
+    pub(crate) schema: AccessSchema,
+    pub(crate) indices: Vec<ConstraintIndex>,
 }
 
 impl AccessIndexSet {

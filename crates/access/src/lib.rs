@@ -30,7 +30,10 @@
 //!   and deletions, touching only `ΔG ∪ Nb(ΔG)`;
 //! * [`serialize`] — a line-oriented text format for schemas, so a
 //!   discovered schema can be shipped next to its dataset and reloaded
-//!   without another discovery pass.
+//!   without another discovery pass;
+//! * [`snapshot`] — binary persistence of schema **and** built indices
+//!   inside the `.bgpq` container, so discovery and index construction are
+//!   genuinely one-time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,11 +45,14 @@ pub mod maintenance;
 pub mod satisfy;
 pub mod schema;
 pub mod serialize;
+pub mod snapshot;
 
 pub use constraint::{AccessConstraint, ConstraintId, ConstraintKind};
 pub use discovery::{discover_schema, DiscoveryConfig};
+pub use index::DEFAULT_MAX_COMBINATIONS_PER_NODE;
 pub use index::{AccessIndexSet, ConstraintIndex};
 pub use maintenance::{apply_delta, apply_deltas, GraphDelta, MaintenanceStats, TouchedNodes};
 pub use satisfy::{check_schema, Violation};
 pub use schema::AccessSchema;
 pub use serialize::{load_schema, read_schema, save_schema, write_schema};
+pub use snapshot::{load_snapshot, read_snapshot, save_snapshot, write_snapshot, SnapshotBundle};

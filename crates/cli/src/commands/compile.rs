@@ -1,0 +1,108 @@
+//! `bgpq compile` — compile a dataset into a `.bgpq` binary snapshot with
+//! its access schema and pre-built indices embedded.
+//!
+//! This is the paper's one-time preprocessing phase made literal: parse the
+//! text dataset once, discover (or load) the schema once, build the indices
+//! once, and persist all three. Every later `bgpq query --snapshot` (or
+//! `load`/`index`/`serve-demo`) bulk-loads the result without re-paying any
+//! of those costs.
+
+use super::{dataset_source, discovery_config, fmt_nanos, DISCOVERY_FLAGS, SIMPLE_SWITCH};
+use crate::args::Args;
+use crate::dataset::{default_edge_label, load_dataset_full, load_or_discover_schema};
+use bgpq_access::DEFAULT_MAX_COMBINATIONS_PER_NODE;
+use bgpq_engine::{save_snapshot, AccessIndexSet};
+use std::error::Error;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+const USAGE: &str = "USAGE: bgpq compile <dataset> --out FILE.bgpq
+                     [--schema FILE] [--cap N] [discovery flags]
+                     [--format text|jsonl|edges|snapshot] [--label NAME]
+
+Loads the dataset, obtains an access schema (--schema FILE or discovery),
+builds one index per constraint (--cap bounds the combinations materialized
+per target node) and writes graph + schema + indices into one binary
+snapshot. Querying the snapshot later re-pays none of these costs.
+Recompiling an existing snapshot (snapshot input, no --schema) reuses its
+embedded schema and indices verbatim.";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let mut value_flags = vec!["format", "label", "schema", "snapshot", "out", "cap"];
+    value_flags.extend_from_slice(&DISCOVERY_FLAGS);
+    let args = Args::parse(argv, &value_flags, &[SIMPLE_SWITCH, "help"])?;
+    if args.switch("help") {
+        writeln!(out, "{USAGE}")?;
+        return Ok(());
+    }
+    let (path, format) = dataset_source(&args)?;
+    let out_path = Path::new(
+        args.flag("out")
+            .ok_or("missing --out FILE.bgpq (see `bgpq compile --help`)")?,
+    );
+    let cap: usize = args.flag_or("cap", DEFAULT_MAX_COMBINATIONS_PER_NODE)?;
+    let label = args.flag("label").unwrap_or(default_edge_label());
+    let schema_path = args.flag("schema").map(Path::new);
+
+    let started = Instant::now();
+    let loaded = load_dataset_full(path, format, label)?;
+    let load_nanos = started.elapsed().as_nanos() as u64;
+    writeln!(
+        out,
+        "dataset {} ({}): {} nodes, {} edges, loaded in {}",
+        path.display(),
+        loaded.format,
+        loaded.graph.live_node_count(),
+        loaded.graph.edge_count(),
+        fmt_nanos(load_nanos)
+    )?;
+
+    let (graph, schema, indices, source) = match (loaded.embedded, schema_path) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--schema conflicts with a snapshot input's embedded schema; \
+                 recompile from the original dataset instead"
+                    .into(),
+            );
+        }
+        (Some((schema, indices)), None) => (loaded.graph, schema, indices, "reused from snapshot"),
+        (None, schema_path) => {
+            let schema =
+                load_or_discover_schema(&loaded.graph, schema_path, &discovery_config(&args)?)?;
+            let started = Instant::now();
+            let indices = AccessIndexSet::build_with_cap(&loaded.graph, &schema, cap);
+            let build_nanos = started.elapsed().as_nanos() as u64;
+            writeln!(
+                out,
+                "schema: {} constraints ({}); indices built in {}",
+                schema.len(),
+                match schema_path {
+                    Some(p) => format!("from {}", p.display()),
+                    None => "discovered".into(),
+                },
+                fmt_nanos(build_nanos)
+            )?;
+            (loaded.graph, schema, indices, "freshly built")
+        }
+    };
+
+    let started = Instant::now();
+    save_snapshot(&graph, &indices, out_path)
+        .map_err(|e| format!("{}: {e}", out_path.display()))?;
+    let write_nanos = started.elapsed().as_nanos() as u64;
+    let bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    writeln!(
+        out,
+        "compiled {} -> {}: {} constraints, |index| = {} node ids ({source}), \
+         {} bytes written in {}",
+        path.display(),
+        out_path.display(),
+        schema.len(),
+        indices.total_size(),
+        bytes,
+        fmt_nanos(write_nanos)
+    )?;
+    Ok(())
+}

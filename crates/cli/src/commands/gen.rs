@@ -39,18 +39,18 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let out_path = args.flag("out").map(Path::new);
     let format = match args.flag("format") {
         Some(name) => Format::from_name(name)
-            .filter(|f| *f != Format::EdgeList)
+            .filter(|f| matches!(f, Format::Text | Format::Jsonl))
             .ok_or_else(|| format!("invalid --format {name:?} (text or jsonl)"))?,
         None => match out_path {
             Some(path) => match Format::detect(path) {
                 Format::Jsonl => Format::Jsonl,
-                // Writing labeled records into a file the loaders will
-                // auto-detect as an edge list would produce a dataset that
-                // cannot be loaded back.
-                Format::EdgeList => {
+                // Writing labeled text records into a file the loaders will
+                // auto-detect as an edge list or snapshot would produce a
+                // dataset that cannot be loaded back.
+                Format::EdgeList | Format::Snapshot => {
                     return Err(format!(
-                        "{}: the edge-list format cannot represent labels and values; \
-                         use a .tsv/.jsonl extension or pass --format",
+                        "{}: `gen` emits line-oriented datasets only; use a .tsv/.jsonl \
+                         extension (then `bgpq compile` for a snapshot) or pass --format",
                         path.display()
                     )
                     .into())

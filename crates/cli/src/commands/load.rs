@@ -1,32 +1,43 @@
 //! `bgpq load` — parse a dataset and print its statistics.
 
+use super::dataset_source;
 use crate::args::Args;
-use crate::dataset::{default_edge_label, load_dataset, Format};
+use crate::dataset::{default_edge_label, load_dataset_full, Format};
 use bgpq_engine::Graph;
 use bgpq_graph::GraphStats;
 use std::error::Error;
 use std::io::Write;
 use std::path::Path;
 
-const USAGE: &str = "USAGE: bgpq load <dataset> [--format text|jsonl|edges] [--label NAME]
+const USAGE: &str = "USAGE: bgpq load <dataset|--snapshot FILE>
+                     [--format text|jsonl|edges|snapshot] [--label NAME]
 
 Parses the dataset (reporting malformed lines with their line number) and
 prints node/edge counts, the label histogram, degree statistics and the mix
-of attribute value types. --label sets the implicit node label of edge
-lists.";
+of attribute value types. Snapshots are recognized by their magic bytes
+regardless of extension; a compiled snapshot additionally reports its
+embedded schema and index sizes. --label sets the implicit node label of
+edge lists.";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
-    let args = Args::parse(argv, &["format", "label"], &["help"])?;
+    let args = Args::parse(argv, &["format", "label", "snapshot"], &["help"])?;
     if args.switch("help") {
         writeln!(out, "{USAGE}")?;
         return Ok(());
     }
-    let path = Path::new(args.require_positional(0, "dataset")?);
-    let format = parse_format(&args)?;
+    let (path, format) = dataset_source(&args)?;
     let label = args.flag("label").unwrap_or(default_edge_label());
-    let (graph, format) = load_dataset(path, format, label)?;
-    report(&graph, path, format, out)?;
+    let loaded = load_dataset_full(path, format, label)?;
+    report(&loaded.graph, path, loaded.format, out)?;
+    if let Some((schema, indices)) = &loaded.embedded {
+        writeln!(
+            out,
+            "  snapshot: {} constraints embedded, |index| = {} node ids",
+            schema.len(),
+            indices.total_size()
+        )?;
+    }
     Ok(())
 }
 
@@ -34,9 +45,9 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
 pub(crate) fn parse_format(args: &Args) -> Result<Option<Format>, Box<dyn Error>> {
     match args.flag("format") {
         None => Ok(None),
-        Some(name) => Format::from_name(name)
-            .map(Some)
-            .ok_or_else(|| format!("invalid --format {name:?} (text, jsonl or edges)").into()),
+        Some(name) => Format::from_name(name).map(Some).ok_or_else(|| {
+            format!("invalid --format {name:?} (text, jsonl, edges or snapshot)").into()
+        }),
     }
 }
 

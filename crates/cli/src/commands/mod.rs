@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod compile;
 pub mod discover;
 pub mod gen;
 pub mod index;
@@ -8,7 +9,10 @@ pub mod query;
 pub mod serve_demo;
 
 use crate::args::Args;
+use crate::dataset::Format;
 use bgpq_engine::DiscoveryConfig;
+use std::error::Error;
+use std::path::Path;
 
 /// Renders a nanosecond count with a readable unit.
 pub(crate) fn fmt_nanos(nanos: u64) -> String {
@@ -27,6 +31,21 @@ pub(crate) const DISCOVERY_FLAGS: [&str; 4] =
 
 /// The `--simple` switch name (type 1+2 discovery only).
 pub(crate) const SIMPLE_SWITCH: &str = "simple";
+
+/// The `--snapshot FILE` flag accepted by every dataset-reading subcommand.
+pub(crate) const SNAPSHOT_FLAG: &str = "snapshot";
+
+/// Resolves a subcommand's dataset input: either the positional path (with
+/// the usual content sniffing + `--format` override) or `--snapshot FILE`,
+/// which forces the binary reader. Exactly one must be given.
+pub(crate) fn dataset_source(args: &Args) -> Result<(&Path, Option<Format>), Box<dyn Error>> {
+    match (args.flag(SNAPSHOT_FLAG), args.positional(0)) {
+        (Some(_), Some(_)) => Err("give either a dataset path or --snapshot FILE, not both".into()),
+        (Some(snap), None) => Ok((Path::new(snap), Some(Format::Snapshot))),
+        (None, Some(path)) => Ok((Path::new(path), load::parse_format(args)?)),
+        (None, None) => Err("missing dataset (positional path or --snapshot FILE)".into()),
+    }
+}
 
 /// Builds a [`DiscoveryConfig`] from the shared discovery flags.
 pub(crate) fn discovery_config(args: &Args) -> Result<DiscoveryConfig, String> {

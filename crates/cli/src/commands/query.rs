@@ -1,9 +1,8 @@
 //! `bgpq query` — run one pattern query through the engine.
 
-use super::{discovery_config, fmt_nanos, DISCOVERY_FLAGS, SIMPLE_SWITCH};
+use super::{dataset_source, discovery_config, fmt_nanos, DISCOVERY_FLAGS, SIMPLE_SWITCH};
 use crate::args::Args;
-use crate::commands::load::parse_format;
-use crate::dataset::{default_edge_label, load_dataset, load_or_discover_schema};
+use crate::dataset::{default_edge_label, load_dataset_full, load_or_discover_schema};
 use bgpq_engine::{
     parse_pattern, Engine, QueryAnswer, QueryRequest, QueryResponse, Semantics, StrategyKind,
 };
@@ -12,19 +11,21 @@ use std::error::Error;
 use std::io::Write;
 use std::path::Path;
 
-const USAGE: &str = "USAGE: bgpq query <dataset> --pattern FILE
+const USAGE: &str = "USAGE: bgpq query <dataset|--snapshot FILE> --pattern FILE
                      [--schema FILE] [--semantics iso|sim]
                      [--strategy auto|bounded|seeded|baseline]
                      [--max-matches N] [--step-budget N] [--show N]
                      [--explain] [discovery flags]
-                     [--format text|jsonl|edges] [--label NAME]
+                     [--format text|jsonl|edges|snapshot] [--label NAME]
 
 Loads the dataset, obtains an access schema (--schema FILE or discovery),
 builds an engine and executes the pattern file (see `bgpq-pattern::parse`
-for the syntax). The engine picks the cheapest sound strategy — bounded
-bVF2/bSim when the pattern is effectively bounded under the schema — unless
---strategy forces a tier. --explain prints the fetch plan or the planner's
-refusal.";
+for the syntax). A compiled snapshot input (--snapshot FILE, or a dataset
+path carrying the snapshot magic) supplies its embedded schema and indices,
+so no discovery or index build happens at query time. The engine picks the
+cheapest sound strategy — bounded bVF2/bSim when the pattern is effectively
+bounded under the schema — unless --strategy forces a tier. --explain
+prints the fetch plan or the planner's refusal.";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
@@ -32,6 +33,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         "format",
         "label",
         "schema",
+        "snapshot",
         "pattern",
         "semantics",
         "strategy",
@@ -45,7 +47,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         writeln!(out, "{USAGE}")?;
         return Ok(());
     }
-    let path = Path::new(args.require_positional(0, "dataset")?);
+    let (path, format) = dataset_source(&args)?;
     let pattern_path = args
         .flag("pattern")
         .ok_or("missing --pattern FILE (see `bgpq query --help`)")?;
@@ -53,27 +55,50 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let strategy = parse_strategy(args.flag("strategy"))?;
     let show = args.flag_or("show", 10usize)?;
 
-    let format = parse_format(&args)?;
     let label = args.flag("label").unwrap_or(default_edge_label());
-    let (graph, _) = load_dataset(path, format, label)?;
+    let loaded = load_dataset_full(path, format, label)?;
     let schema_path = args.flag("schema").map(Path::new);
-    let schema = load_or_discover_schema(&graph, schema_path, &discovery_config(&args)?)?;
+    let (engine, schema_len, schema_desc) = match (loaded.embedded, schema_path) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--schema conflicts with a snapshot input's embedded schema; \
+                 query the original dataset to use a different schema"
+                    .into(),
+            );
+        }
+        (Some((schema, indices)), None) => {
+            // The snapshot carries everything: no discovery, no index build.
+            let len = schema.len();
+            (
+                Engine::with_indices(loaded.graph, indices),
+                len,
+                " (embedded in snapshot)".to_string(),
+            )
+        }
+        (None, schema_path) => {
+            let schema =
+                load_or_discover_schema(&loaded.graph, schema_path, &discovery_config(&args)?)?;
+            let desc = match schema_path {
+                Some(p) => format!(" (from {})", p.display()),
+                None => " (discovered)".into(),
+            };
+            let len = schema.len();
+            (Engine::new(loaded.graph, &schema), len, desc)
+        }
+    };
 
     let pattern_text =
         std::fs::read_to_string(pattern_path).map_err(|e| format!("{pattern_path}: {e}"))?;
-    let pattern = parse_pattern(&pattern_text, graph.interner().clone())
+    let pattern = parse_pattern(&pattern_text, engine.graph().interner().clone())
         .map_err(|e| format!("{pattern_path}: {e}"))?;
     writeln!(
         out,
         "dataset {}: {} nodes, {} edges; schema: {} constraints{}",
         path.display(),
-        graph.live_node_count(),
-        graph.edge_count(),
-        schema.len(),
-        match schema_path {
-            Some(p) => format!(" (from {})", p.display()),
-            None => " (discovered)".into(),
-        }
+        engine.graph().live_node_count(),
+        engine.graph().edge_count(),
+        schema_len,
+        schema_desc
     )?;
     writeln!(
         out,
@@ -83,7 +108,6 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         pattern.edge_count()
     )?;
 
-    let engine = Engine::new(graph, &schema);
     let mut builder = QueryRequest::build(pattern.clone()).semantics(semantics);
     if let Some(kind) = strategy {
         builder = builder.strategy(kind);

@@ -1,10 +1,9 @@
 //! `bgpq serve-demo` — drive the concurrent server with a scripted mixed
 //! read/update workload.
 
-use super::{discovery_config, fmt_nanos, DISCOVERY_FLAGS, SIMPLE_SWITCH};
+use super::{dataset_source, discovery_config, fmt_nanos, DISCOVERY_FLAGS, SIMPLE_SWITCH};
 use crate::args::Args;
-use crate::commands::load::parse_format;
-use crate::dataset::{default_edge_label, load_dataset, load_or_discover_schema};
+use crate::dataset::{default_edge_label, load_dataset_full, load_or_discover_schema};
 use bgpq_engine::{parse_pattern, Graph, NodeId, PatternBuilder, Predicate, QueryRequest};
 use bgpq_pattern::{DetRng, Pattern};
 use bgpq_serve::{Server, Update};
@@ -14,20 +13,22 @@ use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
-const USAGE: &str = "USAGE: bgpq serve-demo <dataset> [--commits N] [--batch N] [--queries N]
-                     [--seed N] [--schema FILE] [--pattern FILE]
-                     [discovery flags] [--format text|jsonl|edges] [--label NAME]
+const USAGE: &str = "USAGE: bgpq serve-demo <dataset|--snapshot FILE> [--commits N] [--batch N]
+                     [--queries N] [--seed N] [--schema FILE] [--pattern FILE]
+                     [discovery flags] [--format text|jsonl|edges|snapshot]
+                     [--label NAME]
 
 Loads the dataset into the epoch-versioned server, then alternates scripted
 update batches (node/edge inserts, edge removals, occasional node removals)
 with read rounds, printing per-commit maintenance costs and closed-loop
-query throughput. Without --pattern a two-node query over the dataset's
-most common edge label pair is used.";
+query throughput. A compiled snapshot input starts serving from its
+embedded schema and indices without rebuilding them. Without --pattern a
+two-node query over the dataset's most common edge label pair is used.";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let mut value_flags = vec![
-        "format", "label", "schema", "pattern", "commits", "batch", "queries", "seed",
+        "format", "label", "schema", "snapshot", "pattern", "commits", "batch", "queries", "seed",
     ];
     value_flags.extend_from_slice(&DISCOVERY_FLAGS);
     let args = Args::parse(argv, &value_flags, &[SIMPLE_SWITCH, "help"])?;
@@ -35,17 +36,30 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         writeln!(out, "{USAGE}")?;
         return Ok(());
     }
-    let path = Path::new(args.require_positional(0, "dataset")?);
+    let (path, format) = dataset_source(&args)?;
     let commits: usize = args.flag_or("commits", 5)?;
     let batch: usize = args.flag_or("batch", 8)?;
     let queries: usize = args.flag_or("queries", 100)?;
     let seed: u64 = args.flag_or("seed", 42)?;
 
-    let format = parse_format(&args)?;
     let label = args.flag("label").unwrap_or(default_edge_label());
-    let (graph, _) = load_dataset(path, format, label)?;
+    let loaded = load_dataset_full(path, format, label)?;
     let schema_path = args.flag("schema").map(Path::new);
-    let schema = load_or_discover_schema(&graph, schema_path, &discovery_config(&args)?)?;
+    let (graph, schema, embedded_indices) = match (loaded.embedded, schema_path) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--schema conflicts with a snapshot input's embedded schema; \
+                 serve the original dataset to use a different schema"
+                    .into(),
+            );
+        }
+        (Some((schema, indices)), None) => (loaded.graph, schema, Some(indices)),
+        (None, schema_path) => {
+            let schema =
+                load_or_discover_schema(&loaded.graph, schema_path, &discovery_config(&args)?)?;
+            (loaded.graph, schema, None)
+        }
+    };
 
     if graph.live_node_count() == 0 {
         return Err(format!("{}: dataset has no nodes to serve", path.display()).into());
@@ -78,7 +92,12 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         queries
     )?;
 
-    let server = Server::new(graph, &schema);
+    let server = match embedded_indices {
+        // Snapshot inputs hand the server pre-built indices: version 0
+        // starts serving without any build cost.
+        Some(indices) => Server::with_indices(graph, indices),
+        None => Server::new(graph, &schema),
+    };
     let request = QueryRequest::build(pattern).finish();
     let mut rng = DetRng::seed_from_u64(seed);
     let mut fresh_value = 1_000_000i64;

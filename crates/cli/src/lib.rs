@@ -11,8 +11,9 @@
 //! bgpq load data/social.tsv                           # parse + stats
 //! bgpq discover data/social.tsv --out social.schema   # access constraints
 //! bgpq index data/social.tsv --schema social.schema   # index sizes vs |G|
-//! bgpq query data/social.tsv --pattern q.pat          # bounded evaluation
-//! bgpq serve-demo data/social.tsv                     # live updates + reads
+//! bgpq compile data/social.tsv --out social.bgpq      # one-time preprocessing
+//! bgpq query --snapshot social.bgpq --pattern q.pat   # bounded evaluation
+//! bgpq serve-demo --snapshot social.bgpq              # live updates + reads
 //! ```
 //!
 //! Everything is dependency-free; commands are implemented as library
@@ -40,14 +41,18 @@ COMMANDS:
   load <dataset>       parse a dataset and print its statistics
   discover <dataset>   discover an access schema (optionally --out FILE)
   index <dataset>      build access indices and report their sizes
+  compile <dataset>    compile dataset + schema + indices into a .bgpq snapshot
   query <dataset>      run a pattern query (--pattern FILE) through the engine
   serve-demo <dataset> drive the concurrent server with a mixed workload
   help                 show this text
 
-DATASET FORMATS (by extension, or --format text|jsonl|edges):
-  .tsv/.txt   typed n/e records     .jsonl  JSON lines     .el/.edges  edge list
+DATASET FORMATS (snapshots detected by magic bytes; otherwise by extension,
+or --format text|jsonl|edges|snapshot):
+  .tsv/.txt  typed n/e records   .jsonl  JSON lines   .el/.edges  edge list
+  .bgpq      binary snapshot (graph + schema + indices, via `bgpq compile`)
 
-Run `bgpq <command> --help` for the flags of one command.";
+load/index/query/serve-demo also accept `--snapshot FILE` instead of the
+dataset path. Run `bgpq <command> --help` for the flags of one command.";
 
 /// Dispatches one CLI invocation (`argv` excludes the program name),
 /// writing human-readable output to `out`.
@@ -62,6 +67,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         "load" => commands::load::run(rest, out),
         "discover" => commands::discover::run(rest, out),
         "index" => commands::index::run(rest, out),
+        "compile" => commands::compile::run(rest, out),
         "query" => commands::query::run(rest, out),
         "serve-demo" => commands::serve_demo::run(rest, out),
         "help" | "--help" | "-h" => {

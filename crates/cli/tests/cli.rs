@@ -206,3 +206,139 @@ fn bad_invocations_fail_cleanly() {
     let help = stdout_of(&["help"]);
     assert!(help.contains("USAGE"));
 }
+
+/// `compile → query --snapshot` answers exactly like querying the text
+/// dataset, with no schema discovery or index build at query time.
+#[test]
+fn compile_then_query_snapshot_matches_text_path() {
+    let datasets = [
+        ("data/social.tsv", "data/queries/social.pat", "social"),
+        (
+            "data/citation.jsonl",
+            "data/queries/citation.pat",
+            "citation",
+        ),
+        (
+            "data/products.jsonl",
+            "data/queries/products.pat",
+            "products",
+        ),
+    ];
+    let answer_line = |out: &str| -> String {
+        out.lines()
+            .find(|l| l.starts_with("answer:"))
+            .expect("answer line")
+            .to_string()
+    };
+    for (dataset, pattern, name) in datasets {
+        let snap = temp_path(&format!("{name}.bgpq"));
+        let compiled = stdout_of(&["compile", dataset, "--out", snap.to_str().unwrap()]);
+        assert!(compiled.contains("compiled"), "{dataset}: {compiled}");
+
+        let from_text = stdout_of(&["query", dataset, "--pattern", pattern]);
+        let from_snap = stdout_of(&[
+            "query",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--pattern",
+            pattern,
+        ]);
+        assert_eq!(
+            answer_line(&from_text),
+            answer_line(&from_snap),
+            "{dataset}: answers diverged"
+        );
+        assert!(
+            from_snap.contains("embedded in snapshot"),
+            "{dataset}: snapshot path must reuse embedded schema: {from_snap}"
+        );
+        assert!(
+            from_snap.contains("strategy: bounded"),
+            "{dataset}: {from_snap}"
+        );
+
+        // `index --snapshot` reports the persisted indices without a rebuild.
+        let index = stdout_of(&["index", "--snapshot", snap.to_str().unwrap()]);
+        assert!(index.contains("no rebuild"), "{dataset}: {index}");
+        std::fs::remove_file(snap).ok();
+    }
+}
+
+/// Snapshots are recognized by magic bytes: a renamed or extensionless
+/// snapshot file still loads through the binary path.
+#[test]
+fn snapshot_autodetection_ignores_the_extension() {
+    let snap = temp_path("sniff.bgpq");
+    stdout_of(&[
+        "compile",
+        "data/social.tsv",
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+
+    for name in ["renamed.tsv", "extensionless"] {
+        let copy = temp_path(name);
+        std::fs::copy(&snap, &copy).unwrap();
+        let load = stdout_of(&["load", copy.to_str().unwrap()]);
+        assert!(load.contains("(snapshot)"), "{name}: {load}");
+        assert!(load.contains("constraints embedded"), "{name}: {load}");
+        std::fs::remove_file(copy).ok();
+    }
+    std::fs::remove_file(snap).ok();
+}
+
+/// A snapshot of a newer format version is refused with a clear message
+/// naming both versions, not mis-parsed.
+#[test]
+fn version_mismatched_snapshot_is_refused_clearly() {
+    let snap = temp_path("future.bgpq");
+    stdout_of(&[
+        "compile",
+        "data/social.tsv",
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    let mut bytes = std::fs::read(&snap).unwrap();
+    bytes[8] = 99; // the version field follows the 8-byte magic
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let output = bgpq(&["load", snap.to_str().unwrap()]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("version 99"), "stderr was: {stderr}");
+    assert!(stderr.contains("version 1"), "stderr was: {stderr}");
+    std::fs::remove_file(snap).ok();
+}
+
+/// `--schema` contradicts a snapshot's embedded schema and is refused.
+#[test]
+fn schema_flag_conflicts_with_embedded_snapshot_schema() {
+    let snap = temp_path("conflict.bgpq");
+    let schema = temp_path("conflict.schema");
+    stdout_of(&[
+        "compile",
+        "data/social.tsv",
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    stdout_of(&[
+        "discover",
+        "data/social.tsv",
+        "--out",
+        schema.to_str().unwrap(),
+    ]);
+    let output = bgpq(&[
+        "query",
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "--pattern",
+        "data/queries/social.pat",
+        "--schema",
+        schema.to_str().unwrap(),
+    ]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("conflicts"), "stderr was: {stderr}");
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(schema).ok();
+}

@@ -8,10 +8,12 @@
 //! graph.
 
 use bgpq_cli::scenario::{generate, same_graph, Scenario, ScenarioConfig};
+use bgpq_graph::io::snapshot::{read_graph_snapshot, write_graph_snapshot};
 use bgpq_graph::io::{
     read_graph, read_jsonl, save_graph, save_jsonl, write_edge_list, write_graph, write_jsonl,
 };
-use bgpq_graph::Graph;
+use bgpq_graph::{Graph, NodeId};
+use bgpq_pattern::DetRng;
 use std::io::Cursor;
 
 fn configs() -> Vec<ScenarioConfig> {
@@ -124,6 +126,91 @@ fn edge_list_preserves_structure() {
         d
     };
     assert_eq!(degrees(&graph), degrees(&reloaded));
+}
+
+fn snapshot_round_trip(graph: &Graph) -> Graph {
+    let mut bytes = Vec::new();
+    write_graph_snapshot(graph, &mut bytes).unwrap();
+    read_graph_snapshot(Cursor::new(bytes)).unwrap()
+}
+
+/// Property suite for the binary container: 200+ seeded graphs across all
+/// three scenario generators must survive `save → load` bit-exactly.
+#[test]
+fn snapshot_round_trips_two_hundred_seeded_scenario_graphs() {
+    let mut checked = 0usize;
+    for scenario in Scenario::ALL {
+        for seed in 0..67u64 {
+            let config = ScenarioConfig {
+                scale: 8 + (seed as usize * 5) % 40,
+                seed,
+            };
+            let graph = generate(scenario, &config).build_graph();
+            let loaded = snapshot_round_trip(&graph);
+            same_graph(&graph, &loaded).unwrap_or_else(|diff| {
+                panic!("{scenario} (scale {}, seed {seed}): {diff}", config.scale)
+            });
+            checked += 1;
+        }
+    }
+    assert!(checked >= 200, "only {checked} graphs checked");
+}
+
+/// Unlike the text writer (which compacts), the snapshot must preserve
+/// tombstoned slots verbatim: after a seeded mutation burst, every slot's
+/// liveness — and the live content under the *original* ids — survives.
+#[test]
+fn snapshot_round_trips_tombstoned_graphs_slot_exactly() {
+    for scenario in Scenario::ALL {
+        for seed in [3u64, 17, 40] {
+            let mut graph = generate(scenario, &ScenarioConfig { scale: 30, seed }).build_graph();
+            let mut rng = DetRng::seed_from_u64(seed * 1001);
+            let nodes: Vec<NodeId> = graph.nodes().collect();
+            for _ in 0..nodes.len() / 4 {
+                let v = nodes[rng.random_range(0..nodes.len())];
+                if graph.is_live(v) {
+                    graph.delete_node(v).unwrap();
+                }
+            }
+            let fresh = graph.insert_node("late", bgpq_graph::Value::Int(1));
+            let anchor = graph.nodes().find(|&v| graph.is_live(v) && v != fresh);
+            if let Some(anchor) = anchor {
+                graph.insert_edge(anchor, fresh).unwrap();
+            }
+            assert!(graph.live_node_count() < graph.node_count());
+
+            let loaded = snapshot_round_trip(&graph);
+            assert_eq!(graph.node_count(), loaded.node_count(), "slot count");
+            for v in graph.nodes() {
+                assert_eq!(
+                    graph.is_live(v),
+                    loaded.is_live(v),
+                    "{scenario} seed {seed}: liveness of {v}"
+                );
+            }
+            same_graph(&graph, &loaded)
+                .unwrap_or_else(|diff| panic!("{scenario} seed {seed}: {diff}"));
+        }
+    }
+}
+
+/// For every checked-in dataset, compiling to a snapshot and loading it
+/// back must agree with the line-oriented loader that parsed the file.
+#[test]
+fn snapshot_loads_agree_with_line_loaders_for_checked_in_datasets() {
+    let data = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data");
+    for name in ["social.tsv", "citation.jsonl", "products.jsonl"] {
+        let path = data.join(name);
+        let (graph, format) = bgpq_cli::dataset::load_dataset(&path, None, "node")
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_ne!(
+            format,
+            bgpq_cli::dataset::Format::Snapshot,
+            "{name} must be a line-oriented dataset"
+        );
+        let loaded = snapshot_round_trip(&graph);
+        same_graph(&graph, &loaded).unwrap_or_else(|diff| panic!("{name}: {diff}"));
+    }
 }
 
 /// A jsonl save of the built graph reloads to the same graph as parsing the

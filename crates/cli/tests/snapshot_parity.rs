@@ -1,0 +1,155 @@
+//! Query parity between the two preprocessing paths: an engine built from a
+//! text/JSONL dataset (discovery + index build at load time) and an engine
+//! built from a compiled `.bgpq` snapshot of the same dataset must return
+//! identical answers for every checked-in query, under both bounded
+//! matching (bVF2) and bounded simulation (bSim).
+
+use bgpq_cli::dataset::{load_dataset, Format};
+use bgpq_engine::{
+    discover_schema, parse_pattern, read_snapshot, write_snapshot, AccessIndexSet, DiscoveryConfig,
+    Engine, QueryAnswer, QueryRequest, Semantics, StrategyKind,
+};
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+
+fn data_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data")
+}
+
+/// The checked-in datasets and their matching query patterns.
+fn checked_in() -> Vec<(PathBuf, PathBuf)> {
+    let data = data_dir();
+    vec![
+        (data.join("social.tsv"), data.join("queries/social.pat")),
+        (
+            data.join("citation.jsonl"),
+            data.join("queries/citation.pat"),
+        ),
+        (
+            data.join("products.jsonl"),
+            data.join("queries/products.pat"),
+        ),
+    ]
+}
+
+/// Order-independent normal form of a query answer for equality checks.
+fn normalize(answer: &QueryAnswer, pattern: &bgpq_pattern::Pattern) -> Vec<Vec<u32>> {
+    match answer {
+        QueryAnswer::Matches(matches) => {
+            let mut rows: Vec<Vec<u32>> = matches
+                .iter()
+                .map(|m| pattern.nodes().map(|u| m.node_for(u).0).collect())
+                .collect();
+            rows.sort();
+            rows
+        }
+        QueryAnswer::Simulation(relation) => pattern
+            .nodes()
+            .map(|u| {
+                let mut vs: Vec<u32> = relation.matches_of(u).iter().map(|v| v.0).collect();
+                vs.sort_unstable();
+                vs
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn snapshot_and_text_engines_answer_identically_on_checked_in_queries() {
+    for (dataset, query) in checked_in() {
+        let (graph, _) = load_dataset(&dataset, None, "node")
+            .unwrap_or_else(|e| panic!("{}: {e}", dataset.display()));
+        let schema = discover_schema(&graph, &DiscoveryConfig::default());
+        let indices = AccessIndexSet::build(&graph, &schema);
+
+        // Path A: the graph as parsed, schema discovered, indices built now.
+        let fresh = Engine::with_indices(graph.clone(), indices.clone());
+        // Path B: compile to an in-memory snapshot, load it back, serve
+        // from the embedded schema and indices without rebuilding.
+        let mut bytes = Vec::new();
+        write_snapshot(&graph, &indices, &mut bytes)
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", dataset.display()));
+        let bundle = read_snapshot(Cursor::new(bytes))
+            .unwrap_or_else(|e| panic!("{}: load: {e}", dataset.display()));
+        assert_eq!(bundle.schema.len(), schema.len(), "schema survived");
+        let snapped = Engine::from_snapshot(bundle);
+
+        let text =
+            std::fs::read_to_string(&query).unwrap_or_else(|e| panic!("{}: {e}", query.display()));
+        let pattern = parse_pattern(&text, fresh.graph().interner().clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", query.display()));
+
+        for semantics in [Semantics::Isomorphism, Semantics::Simulation] {
+            for strategy in [None, Some(StrategyKind::Bounded)] {
+                let build = |p| {
+                    let mut b = QueryRequest::build(p).semantics(semantics);
+                    if let Some(kind) = strategy {
+                        b = b.strategy(kind);
+                    }
+                    b.finish()
+                };
+                let a = fresh.execute(&build(pattern.clone())).unwrap_or_else(|e| {
+                    panic!("{} {semantics:?} {strategy:?}: fresh: {e}", query.display())
+                });
+                let b = snapped
+                    .execute(&build(pattern.clone()))
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} {semantics:?} {strategy:?}: snapshot: {e}",
+                            query.display()
+                        )
+                    });
+                assert_eq!(
+                    normalize(&a.answer, &pattern),
+                    normalize(&b.answer, &pattern),
+                    "{} under {semantics:?} {strategy:?}",
+                    query.display()
+                );
+                // The snapshot path must actually use the bounded tier when
+                // the fresh path does — same strategy choice, same plan.
+                assert_eq!(
+                    a.strategy,
+                    b.strategy,
+                    "{} under {semantics:?} {strategy:?}: strategy diverged",
+                    query.display()
+                );
+            }
+        }
+    }
+}
+
+/// The snapshot reader autodetects by magic bytes: the same parity holds
+/// when the snapshot file has a misleading extension.
+#[test]
+fn parity_survives_misleading_extensions() {
+    let (dataset, query) = checked_in().remove(0);
+    let (graph, _) = load_dataset(&dataset, None, "node").unwrap();
+    let schema = discover_schema(&graph, &DiscoveryConfig::default());
+    let indices = AccessIndexSet::build(&graph, &schema);
+
+    let dir = std::env::temp_dir().join("bgpq_snapshot_parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A `.tsv` name must not trick the loader into text parsing.
+    let disguised = dir.join("disguised.tsv");
+    let mut bytes = Vec::new();
+    write_snapshot(&graph, &indices, &mut bytes).unwrap();
+    std::fs::write(&disguised, &bytes).unwrap();
+
+    let (loaded, format) = load_dataset(&disguised, None, "node").unwrap();
+    assert_eq!(format, Format::Snapshot, "magic bytes win over extension");
+    assert_eq!(loaded.node_count(), graph.node_count());
+    assert_eq!(loaded.edge_count(), graph.edge_count());
+
+    let text = std::fs::read_to_string(&query).unwrap();
+    let pattern = parse_pattern(&text, graph.interner().clone()).unwrap();
+    let fresh = Engine::with_indices(graph, indices);
+    let snapped = Engine::from_snapshot(read_snapshot(Cursor::new(bytes)).unwrap());
+    let request = |p: bgpq_pattern::Pattern| QueryRequest::build(p).finish();
+    let a = fresh.execute(&request(pattern.clone())).unwrap();
+    let b = snapped.execute(&request(pattern.clone())).unwrap();
+    assert_eq!(
+        normalize(&a.answer, &pattern),
+        normalize(&b.answer, &pattern)
+    );
+    std::fs::remove_file(disguised).ok();
+}

@@ -12,11 +12,14 @@
 //! ```
 
 use bgpq_engine::{
-    opt_subgraph_match, AccessConstraint, AccessSchema, Engine, Graph, GraphBuilder, QueryRequest,
+    discover_schema, load_snapshot, opt_subgraph_match, save_snapshot, AccessConstraint,
+    AccessIndexSet, AccessSchema, DiscoveryConfig, Engine, Graph, GraphBuilder, QueryRequest,
     StrategyKind, SubgraphMatcher,
 };
+use bgpq_graph::io::{load_graph, load_graph_snapshot, load_jsonl, save_graph_snapshot};
 use bgpq_graph::Value;
 use bgpq_pattern::{Pattern, PatternBuilder, Predicate};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Benchmark parameters, overridable from the command line.
@@ -32,6 +35,9 @@ struct BenchConfig {
     /// Exit non-zero when `speedup.vf2_over_bvf2` falls below this (the CI
     /// bench-regression gate).
     min_speedup: Option<f64>,
+    /// Exit non-zero when any checked-in dataset's binary-over-text load
+    /// speedup falls below this.
+    min_load_speedup: Option<f64>,
 }
 
 impl BenchConfig {
@@ -46,6 +52,7 @@ impl BenchConfig {
                 rounds: 2,
                 out: "BENCH_engine.json".to_string(),
                 min_speedup: None,
+                min_load_speedup: None,
             }
         } else {
             BenchConfig {
@@ -54,6 +61,7 @@ impl BenchConfig {
                 rounds: 3,
                 out: "BENCH_engine.json".to_string(),
                 min_speedup: None,
+                min_load_speedup: None,
             }
         };
         let mut it = args.iter();
@@ -72,6 +80,11 @@ impl BenchConfig {
                 "--min-speedup" => {
                     let raw = value_for("--min-speedup")?;
                     config.min_speedup =
+                        Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
+                }
+                "--min-load-speedup" => {
+                    let raw = value_for("--min-load-speedup")?;
+                    config.min_load_speedup =
                         Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
                 }
                 other => return Err(format!("unknown argument {other:?}")),
@@ -171,6 +184,89 @@ impl Timing {
     }
 }
 
+/// One dataset's text-vs-binary load comparison (min-of-rounds, in ms).
+struct LoadTiming {
+    name: &'static str,
+    /// Line-oriented parse of the checked-in file into a `Graph`.
+    text_parse_ms: f64,
+    /// Binary load of the same graph from its snapshot sections.
+    snapshot_load_ms: f64,
+    /// Binary load of the *full* compiled bundle — graph plus the embedded
+    /// schema and pre-built indices, i.e. everything `query --snapshot`
+    /// needs. The text path would additionally pay discovery + index build.
+    bundle_load_ms: f64,
+}
+
+impl LoadTiming {
+    fn speedup(&self) -> f64 {
+        self.text_parse_ms / self.snapshot_load_ms.max(1e-6)
+    }
+}
+
+/// Minimum wall-clock over `rounds` runs of `f`, in milliseconds.
+fn min_ms<T>(rounds: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos() as f64 / 1e6);
+    }
+    best
+}
+
+/// Times loading each checked-in dataset through its line-oriented parser
+/// vs. through a compiled binary snapshot (graph + schema + indices). The
+/// snapshot side does strictly more — it also restores the indices — and
+/// must still win by a wide margin, because it bulk-reads sections instead
+/// of parsing, re-interning and re-sorting per record.
+fn bench_snapshot_loads(rounds: usize) -> Vec<LoadTiming> {
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data");
+    type Parser = fn(&Path) -> Graph;
+    let datasets: [(&'static str, PathBuf, Parser); 3] = [
+        ("social", data.join("social.tsv"), |p| {
+            load_graph(p).expect("checked-in dataset parses")
+        }),
+        ("citation", data.join("citation.jsonl"), |p| {
+            load_jsonl(p).expect("checked-in dataset parses")
+        }),
+        ("products", data.join("products.jsonl"), |p| {
+            load_jsonl(p).expect("checked-in dataset parses")
+        }),
+    ];
+    let tmp = std::env::temp_dir().join("bgpq_bench_snapshots");
+    std::fs::create_dir_all(&tmp).expect("temp dir");
+
+    datasets
+        .into_iter()
+        .map(|(name, path, parse)| {
+            let graph = parse(&path);
+            let schema = discover_schema(&graph, &DiscoveryConfig::default());
+            let indices = AccessIndexSet::build(&graph, &schema);
+            let graph_snap = tmp.join(format!("{name}.graph.bgpq"));
+            let bundle_snap = tmp.join(format!("{name}.bgpq"));
+            save_graph_snapshot(&graph, &graph_snap).expect("compile graph snapshot");
+            save_snapshot(&graph, &indices, &bundle_snap).expect("compile bundle");
+
+            // Like for like: both sides produce exactly a `Graph`.
+            let text_parse_ms = min_ms(rounds, || parse(&path));
+            let snapshot_load_ms = min_ms(rounds, || {
+                load_graph_snapshot(&graph_snap).expect("snapshot loads")
+            });
+            let bundle_load_ms = min_ms(rounds, || {
+                load_snapshot(&bundle_snap).expect("bundle loads")
+            });
+            std::fs::remove_file(&graph_snap).ok();
+            std::fs::remove_file(&bundle_snap).ok();
+            LoadTiming {
+                name,
+                text_parse_ms,
+                snapshot_load_ms,
+                bundle_load_ms,
+            }
+        })
+        .collect()
+}
+
 fn json_entry(name: &str, t: &Timing) -> String {
     format!(
         "    \"{}\": {{\"runs\": {}, \"total_ms\": {:.3}, \"avg_us\": {:.1}, \"answers\": {}}}",
@@ -190,7 +286,7 @@ fn main() {
             eprintln!("bench: {e}");
             eprintln!(
                 "usage: bench [--smoke] [--movies N] [--queries K] [--rounds R] \
-                 [--out PATH] [--min-speedup X]"
+                 [--out PATH] [--min-speedup X] [--min-load-speedup X]"
             );
             std::process::exit(2);
         }
@@ -258,6 +354,35 @@ fn main() {
         );
     }
 
+    let loads = bench_snapshot_loads(15);
+    for l in &loads {
+        println!(
+            "load {}: text parse {:.3} ms | snapshot load {:.3} ms ({:.1}x) | \
+             full bundle {:.3} ms",
+            l.name,
+            l.text_parse_ms,
+            l.snapshot_load_ms,
+            l.speedup(),
+            l.bundle_load_ms
+        );
+    }
+    let snapshot_load_json = loads
+        .iter()
+        .map(|l| {
+            format!(
+                "    \"{}\": {{\"text_parse_ms\": {:.3}, \"snapshot_load_ms\": {:.3}, \
+                 \"bundle_load_ms\": {:.3}, \"speedup\": {:.2}}}",
+                l.name,
+                l.text_parse_ms,
+                l.snapshot_load_ms,
+                l.bundle_load_ms,
+                l.speedup()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     let stats = engine.stats();
     let graph_nodes = engine.graph().node_count() as f64;
     let avg_fragment = fragment_nodes as f64 / bounded.runs.max(1) as f64;
@@ -267,10 +392,11 @@ fn main() {
     let vf2_over_bvf2 = vf2.avg_micros() / bounded.avg_micros().max(0.001);
     let report = format!
 (
-        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"bvf2_breakdown\": {{\"fragment_build_us\": {:.1}, \"match_us\": {:.1}}},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
+        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}, \"cores\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"bvf2_breakdown\": {{\"fragment_build_us\": {:.1}, \"match_us\": {:.1}}},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"snapshot_load\": {{\n{}\n  }},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
         config.movies,
         config.queries,
         config.rounds,
+        cores,
         engine.graph().node_count(),
         engine.graph().edge_count(),
         json_entry("vf2", &vf2),
@@ -283,6 +409,7 @@ fn main() {
         stats.plan_cache_hits,
         stats.plan_cache_misses,
         stats.plan_cache_evictions,
+        snapshot_load_json,
         vf2_over_bvf2,
         opt.avg_micros() / bounded.avg_micros().max(0.001),
     );
@@ -306,5 +433,19 @@ fn main() {
             std::process::exit(1);
         }
         println!("bench: speedup gate passed ({vf2_over_bvf2:.2} >= {min:.2})");
+    }
+    if let Some(min) = config.min_load_speedup {
+        for l in &loads {
+            let speedup = l.speedup();
+            if speedup < min {
+                eprintln!(
+                    "bench: REGRESSION — snapshot_load.{}.speedup = {speedup:.2} \
+                     is below the required minimum {min:.2}",
+                    l.name
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("bench: snapshot load gate passed (all datasets >= {min:.2}x)");
     }
 }

@@ -140,6 +140,14 @@ impl Engine {
         }
     }
 
+    /// Creates an engine from a loaded snapshot bundle: the graph, schema
+    /// and indices come out of the container fully built, so no schema
+    /// discovery or index construction happens here — the preprocessing
+    /// cost was paid once, by `bgpq compile`.
+    pub fn from_snapshot(bundle: bgpq_access::SnapshotBundle) -> Self {
+        Self::with_indices(bundle.graph, bundle.indices)
+    }
+
     /// Replaces the plan cache with one of the given capacity (`0` disables
     /// caching). Existing cached plans and cache counters are dropped (the
     /// new cache is private to this engine).

@@ -54,9 +54,10 @@ pub use strategy::{Baseline, Bounded, IndexSeeded, Strategy, StrategyKind, Strat
 // The workspace's request-facing surface, re-exported so applications can
 // depend on `bgpq-engine` alone.
 pub use bgpq_access::{
-    apply_delta, apply_deltas, check_schema, discover_schema, load_schema, read_schema,
-    save_schema, write_schema, AccessConstraint, AccessIndexSet, AccessSchema, ConstraintId,
-    ConstraintIndex, ConstraintKind, DiscoveryConfig, GraphDelta, MaintenanceStats, TouchedNodes,
+    apply_delta, apply_deltas, check_schema, discover_schema, load_schema, load_snapshot,
+    read_schema, read_snapshot, save_schema, save_snapshot, write_schema, write_snapshot,
+    AccessConstraint, AccessIndexSet, AccessSchema, ConstraintId, ConstraintIndex, ConstraintKind,
+    DiscoveryConfig, GraphDelta, MaintenanceStats, SnapshotBundle, TouchedNodes,
 };
 pub use bgpq_core::{
     bounded_simulation_match, bounded_simulation_match_planned, bounded_subgraph_match,
@@ -65,7 +66,7 @@ pub use bgpq_core::{
 };
 pub use bgpq_graph::{
     FragmentView, Graph, GraphAccess, GraphBuilder, GraphError, Label, LabelInterner, NodeId,
-    ScratchArena, Subgraph, Value,
+    ScratchArena, SnapshotError, Subgraph, Value,
 };
 pub use bgpq_matching::{
     opt_simulation_match, opt_simulation_match_stats, opt_subgraph_match, opt_subgraph_match_stats,

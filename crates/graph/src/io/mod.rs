@@ -37,11 +37,16 @@ use std::path::Path;
 pub mod edge_list;
 pub mod json;
 pub mod jsonl;
+pub mod snapshot;
 
 pub use edge_list::{
     load_edge_list, read_edge_list, save_edge_list, write_edge_list, DEFAULT_EDGE_LIST_LABEL,
 };
 pub use jsonl::{load_jsonl, read_jsonl, save_jsonl, write_jsonl};
+pub use snapshot::{
+    is_snapshot_bytes, load_graph_snapshot, read_graph_snapshot, save_graph_snapshot,
+    sniff_snapshot, write_graph_snapshot, SnapshotError,
+};
 
 /// Parses a graph from the text format.
 pub fn read_graph<R: BufRead>(reader: R) -> Result<Graph> {

@@ -117,6 +117,19 @@ impl LabelInterner {
     pub fn contains(&self, label: Label) -> bool {
         label.index() < self.names.len()
     }
+
+    /// Rebuilds an interner from a name list in id order, as persisted in a
+    /// snapshot's string table. Fails with the offending name when the list
+    /// contains a duplicate (ids would no longer be bijective).
+    pub(crate) fn from_names(names: Vec<String>) -> Result<Self, String> {
+        let mut by_name = HashMap::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            if by_name.insert(name.clone(), Label(i as u32)).is_some() {
+                return Err(name.clone());
+            }
+        }
+        Ok(LabelInterner { names, by_name })
+    }
 }
 
 #[cfg(test)]

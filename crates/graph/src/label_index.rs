@@ -74,6 +74,19 @@ impl LabelIndex {
         }
     }
 
+    /// The raw bucket table, indexed by label id — the snapshot writer
+    /// serializes it verbatim as a CSR section.
+    pub(crate) fn buckets(&self) -> &[Vec<NodeId>] {
+        &self.buckets
+    }
+
+    /// Reassembles an index from a validated bucket table (snapshot load).
+    /// The caller guarantees each bucket is sorted, deduplicated and lists
+    /// exactly the nodes carrying its label.
+    pub(crate) fn from_buckets(buckets: Vec<Vec<NodeId>>) -> Self {
+        LabelIndex { buckets }
+    }
+
     /// Removes `node` from `label`'s bucket. Returns whether it was present.
     pub fn remove(&mut self, label: Label, node: NodeId) -> bool {
         let Some(bucket) = self.buckets.get_mut(label.index()) else {

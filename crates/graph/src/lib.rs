@@ -25,7 +25,9 @@
 //!   access constraints;
 //! * [`io`] — dataset ingestion: a plain-text interchange format, plain
 //!   edge lists (SNAP-style) and a JSON-lines node+edge format, all with
-//!   line-numbered diagnostics.
+//!   line-numbered diagnostics — plus [`io::snapshot`], a versioned binary
+//!   container whose sections bulk-load into the in-memory representation
+//!   (checksummed, with typed section-named errors).
 //!
 //! Everything here is deliberately free of any pattern-matching or
 //! access-constraint logic: those live in `bgpq-pattern`, `bgpq-access`,
@@ -48,6 +50,7 @@ pub mod view;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, NodeId};
+pub use io::snapshot::SnapshotError;
 pub use label::{Label, LabelInterner};
 pub use label_index::LabelIndex;
 pub use stats::GraphStats;

@@ -178,6 +178,13 @@ impl Server {
         }
     }
 
+    /// Creates a server from a loaded snapshot bundle (`bgpq compile`
+    /// output): graph, schema and indices arrive fully built, so version 0
+    /// starts serving without any discovery or index-construction cost.
+    pub fn from_snapshot(bundle: bgpq_engine::SnapshotBundle) -> Self {
+        Self::with_indices(bundle.graph, bundle.indices)
+    }
+
     /// Pins the current snapshot. The returned `Arc` keeps that version
     /// alive (graph, indices and engine) for as long as the reader holds it,
     /// no matter how many commits land in the meantime.

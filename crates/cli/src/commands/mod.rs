@@ -1,11 +1,13 @@
 //! Subcommand implementations.
 
+pub mod client;
 pub mod compile;
 pub mod discover;
 pub mod gen;
 pub mod index;
 pub mod load;
 pub mod query;
+pub mod serve;
 pub mod serve_demo;
 
 use crate::args::Args;

@@ -3,6 +3,7 @@
 use super::{dataset_source, discovery_config, fmt_nanos, DISCOVERY_FLAGS, SIMPLE_SWITCH};
 use crate::args::Args;
 use crate::dataset::{default_edge_label, load_dataset_full, load_or_discover_schema};
+use crate::render::{write_answer, AnswerView, BindingView, SimRowView};
 use bgpq_engine::{
     parse_pattern, Engine, QueryAnswer, QueryRequest, QueryResponse, Semantics, StrategyKind,
 };
@@ -124,7 +125,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn parse_semantics(raw: Option<&str>) -> Result<Semantics, Box<dyn Error>> {
+pub(crate) fn parse_semantics(raw: Option<&str>) -> Result<Semantics, Box<dyn Error>> {
     match raw {
         None | Some("iso" | "isomorphism") => Ok(Semantics::Isomorphism),
         Some("sim" | "simulation") => Ok(Semantics::Simulation),
@@ -132,7 +133,7 @@ fn parse_semantics(raw: Option<&str>) -> Result<Semantics, Box<dyn Error>> {
     }
 }
 
-fn parse_strategy(raw: Option<&str>) -> Result<Option<StrategyKind>, Box<dyn Error>> {
+pub(crate) fn parse_strategy(raw: Option<&str>) -> Result<Option<StrategyKind>, Box<dyn Error>> {
     match raw {
         None | Some("auto") => Ok(None),
         Some("bounded") => Ok(Some(StrategyKind::Bounded)),
@@ -159,58 +160,48 @@ fn report(
     out: &mut dyn Write,
 ) -> Result<(), Box<dyn Error>> {
     let graph = engine.graph();
-    writeln!(out, "strategy: {}", response.strategy)?;
-    match &response.answer {
-        QueryAnswer::Matches(matches) => {
-            writeln!(out, "answer: {} matches", matches.len())?;
-            for m in matches.iter().take(show) {
-                let parts: Vec<String> = pattern
-                    .nodes()
-                    .map(|u| {
-                        let v = m.node_for(u);
-                        format!(
-                            "{}={} ({}={})",
-                            node_display(pattern, u),
-                            v.0,
-                            graph.label_name(v),
-                            graph.value(v)
-                        )
-                    })
-                    .collect();
-                writeln!(out, "  {}", parts.join("  "))?;
-            }
-            if matches.len() > show {
-                writeln!(out, "  ... ({} more; raise --show)", matches.len() - show)?;
-            }
-        }
-        QueryAnswer::Simulation(relation) => {
-            writeln!(
-                out,
-                "answer: maximum simulation relation, {} (u, v) pairs",
-                relation.pair_count()
-            )?;
-            for u in pattern.nodes() {
-                let vs = relation.matches_of(u);
-                let sample: Vec<String> = vs.iter().take(show).map(|v| v.0.to_string()).collect();
-                writeln!(
-                    out,
-                    "  {} ({}): {} nodes{}",
-                    node_display(pattern, u),
-                    pattern.label_name(u),
-                    vs.len(),
-                    if vs.is_empty() {
-                        String::new()
-                    } else {
-                        format!(
-                            "  [{}{}]",
-                            sample.join(", "),
-                            if vs.len() > show { ", ..." } else { "" }
-                        )
+    // Reduce the answer to display views and go through the shared
+    // renderer: `bgpq client` renders wire frames through the same code,
+    // which is what keeps local and remote output byte-identical.
+    let view = match &response.answer {
+        QueryAnswer::Matches(matches) => AnswerView::Matches {
+            total: matches.len(),
+            rows: matches
+                .iter()
+                .take(show)
+                .map(|m| {
+                    pattern
+                        .nodes()
+                        .map(|u| {
+                            let v = m.node_for(u);
+                            BindingView {
+                                node: node_display(pattern, u),
+                                id: v.0,
+                                label: graph.label_name(v).to_string(),
+                                value: graph.value(v).to_string(),
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+        },
+        QueryAnswer::Simulation(relation) => AnswerView::Simulation {
+            pairs: relation.pair_count(),
+            rows: pattern
+                .nodes()
+                .map(|u| {
+                    let vs = relation.matches_of(u);
+                    SimRowView {
+                        node: node_display(pattern, u),
+                        label: pattern.label_name(u),
+                        total: vs.len(),
+                        ids: vs.iter().take(show).map(|v| v.0).collect(),
                     }
-                )?;
-            }
-        }
-    }
+                })
+                .collect(),
+        },
+    };
+    write_answer(out, &response.strategy.to_string(), &view, show)?;
 
     let stats = &response.stats;
     let mut line = format!(
@@ -258,42 +249,8 @@ fn report(
     }
 
     if let Some(explain) = &response.explain {
-        match &explain.plan {
-            Some(plan) => {
-                writeln!(out, "plan ({:?} semantics):", plan.semantics)?;
-                for step in &plan.steps {
-                    let via: Vec<String> =
-                        step.via.iter().map(|&u| node_display(pattern, u)).collect();
-                    let constraint = engine
-                        .indices()
-                        .schema()
-                        .get(step.constraint)
-                        .map(|c| c.display_with(graph.interner()))
-                        .unwrap_or_else(|| step.constraint.to_string());
-                    writeln!(
-                        out,
-                        "  fetch {} via {} [{}] (≤ {} candidates)",
-                        node_display(pattern, step.node),
-                        constraint,
-                        if via.is_empty() {
-                            "∅".to_string()
-                        } else {
-                            via.join(", ")
-                        },
-                        step.candidate_bound
-                    )?;
-                }
-            }
-            None => {
-                writeln!(
-                    out,
-                    "no bounded plan: {}",
-                    explain
-                        .fallback_reason
-                        .as_deref()
-                        .unwrap_or("(strategy was forced)")
-                )?;
-            }
+        for line in explain.render_lines(pattern, engine.indices().schema(), graph.interner()) {
+            writeln!(out, "{line}")?;
         }
     }
     Ok(())

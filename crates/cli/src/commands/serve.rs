@@ -1,0 +1,150 @@
+//! `bgpq serve` — expose a dataset over the TCP wire protocol.
+
+use super::{dataset_source, discovery_config, DISCOVERY_FLAGS, SIMPLE_SWITCH};
+use crate::args::Args;
+use crate::dataset::{default_edge_label, load_dataset_full, load_or_discover_schema};
+use bgpq_engine::BudgetPolicy;
+use bgpq_net::{NetServer, NetServerConfig, DEFAULT_MAX_FRAME_BYTES};
+use bgpq_serve::Server;
+use std::error::Error;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "USAGE: bgpq serve <dataset|--snapshot FILE> [--host ADDR] [--port N]
+                     [--workers N] [--max-in-flight N] [--read-timeout-ms N]
+                     [--max-frame-bytes N] [--steps-per-ms N] [--name ID]
+                     [--drain-after-ms N] [--schema FILE] [discovery flags]
+                     [--format text|jsonl|edges|snapshot] [--label NAME]
+
+Loads the dataset into the epoch-versioned server and listens for bgpq-net
+protocol connections (`bgpq client`, see docs/PROTOCOL.md). Queries and
+updates pass an admission gate capped at --max-in-flight concurrent
+requests; beyond it clients get a typed `overloaded` rejection with a
+retry-after hint (--max-in-flight 0 rejects everything — out-of-rotation
+mode). --port 0 picks a free port, printed on the `listening on` line.
+--steps-per-ms calibrates how client deadlines map onto deterministic step
+budgets. By default the server runs until killed; --drain-after-ms N
+drains gracefully after N ms and exits (in-flight queries finish, new ones
+are rejected with `draining`).";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let mut value_flags = vec![
+        "format",
+        "label",
+        "schema",
+        "snapshot",
+        "host",
+        "port",
+        "workers",
+        "max-in-flight",
+        "read-timeout-ms",
+        "max-frame-bytes",
+        "steps-per-ms",
+        "name",
+        "drain-after-ms",
+    ];
+    value_flags.extend_from_slice(&DISCOVERY_FLAGS);
+    let args = Args::parse(argv, &value_flags, &[SIMPLE_SWITCH, "help"])?;
+    if args.switch("help") {
+        writeln!(out, "{USAGE}")?;
+        return Ok(());
+    }
+    let (path, format) = dataset_source(&args)?;
+    let host = args.flag("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.flag_or("port", 0u16)?;
+    let workers: usize = args.flag_or("workers", 2usize)?;
+    let max_in_flight: usize = args.flag_or("max-in-flight", 8usize)?;
+    let read_timeout_ms: u64 = args.flag_or("read-timeout-ms", 0u64)?;
+    let max_frame_bytes: u32 = args.flag_or("max-frame-bytes", DEFAULT_MAX_FRAME_BYTES)?;
+    let steps_per_ms: u64 =
+        args.flag_or("steps-per-ms", BudgetPolicy::default().steps_per_milli)?;
+    let drain_after_ms: u64 = args.flag_or("drain-after-ms", 0u64)?;
+    let name = args.flag("name").unwrap_or("bgpq-net").to_string();
+
+    let label = args.flag("label").unwrap_or(default_edge_label());
+    let loaded = load_dataset_full(path, format, label)?;
+    let schema_path = args.flag("schema").map(Path::new);
+    let (graph, schema_len, schema_desc, indices) = match (loaded.embedded, schema_path) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--schema conflicts with a snapshot input's embedded schema; \
+                 serve the original dataset to use a different schema"
+                    .into(),
+            );
+        }
+        (Some((schema, indices)), None) => (
+            loaded.graph,
+            schema.len(),
+            " (embedded in snapshot)".to_string(),
+            indices,
+        ),
+        (None, schema_path) => {
+            let schema =
+                load_or_discover_schema(&loaded.graph, schema_path, &discovery_config(&args)?)?;
+            let desc = match schema_path {
+                Some(p) => format!(" (from {})", p.display()),
+                None => " (discovered)".into(),
+            };
+            let len = schema.len();
+            let indices = bgpq_access::AccessIndexSet::build(&loaded.graph, &schema);
+            (loaded.graph, len, desc, indices)
+        }
+    };
+    let (nodes, edges) = (graph.live_node_count(), graph.edge_count());
+    let server = Server::with_indices(graph, indices);
+
+    let config = NetServerConfig {
+        addr: format!("{host}:{port}"),
+        workers: workers.max(1),
+        max_in_flight,
+        max_frame_bytes,
+        read_timeout: (read_timeout_ms > 0).then(|| Duration::from_millis(read_timeout_ms)),
+        server_name: name,
+        budget_policy: BudgetPolicy {
+            steps_per_milli: steps_per_ms.max(1),
+            ..BudgetPolicy::default()
+        },
+        ..NetServerConfig::default()
+    };
+    let handle = NetServer::start(Arc::new(server), config)
+        .map_err(|e| format!("cannot listen on {host}:{port}: {e}"))?;
+
+    writeln!(
+        out,
+        "serving {}: {} nodes, {} edges; schema: {} constraints{}",
+        path.display(),
+        nodes,
+        edges,
+        schema_len,
+        schema_desc
+    )?;
+    writeln!(
+        out,
+        "listening on {} (workers {}, max in-flight {})",
+        handle.local_addr(),
+        workers.max(1),
+        max_in_flight
+    )?;
+    out.flush()?;
+
+    if drain_after_ms > 0 {
+        std::thread::sleep(Duration::from_millis(drain_after_ms));
+        let stats = handle.gate_stats();
+        let drained = handle.shutdown();
+        writeln!(
+            out,
+            "drained {}: admitted {}, rejected {} overloaded / {} draining",
+            if drained { "cleanly" } else { "with timeout" },
+            stats.admitted,
+            stats.rejected_overloaded,
+            stats.rejected_draining
+        )?;
+        return Ok(());
+    }
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -26,6 +26,7 @@
 pub mod args;
 pub mod commands;
 pub mod dataset;
+pub mod render;
 pub mod scenario;
 
 use std::error::Error;
@@ -44,6 +45,8 @@ COMMANDS:
   compile <dataset>    compile dataset + schema + indices into a .bgpq snapshot
   query <dataset>      run a pattern query (--pattern FILE) through the engine
   serve-demo <dataset> drive the concurrent server with a mixed workload
+  serve <dataset>      listen for bgpq-net TCP clients (--port 0 = any free)
+  client               query a running `bgpq serve` (--addr HOST:PORT)
   help                 show this text
 
 DATASET FORMATS (snapshots detected by magic bytes; otherwise by extension,
@@ -70,6 +73,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         "compile" => commands::compile::run(rest, out),
         "query" => commands::query::run(rest, out),
         "serve-demo" => commands::serve_demo::run(rest, out),
+        "serve" => commands::serve::run(rest, out),
+        "client" => commands::client::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())

@@ -1,0 +1,173 @@
+//! Shared answer rendering.
+//!
+//! `bgpq query` (local engine) and `bgpq client` (TCP) must print the
+//! *same bytes* for the same answer — that is how the end-to-end tests
+//! prove the wire protocol is lossless. Both subcommands therefore reduce
+//! their answers to the display-ready views here and let one renderer
+//! produce the `strategy:`/`answer:` block.
+
+use std::io::Write;
+
+/// One pattern-node binding of a match row, reduced to display strings.
+#[derive(Debug, Clone)]
+pub struct BindingView {
+    /// Pattern-node display name.
+    pub node: String,
+    /// Matched data node id.
+    pub id: u32,
+    /// Data node label name.
+    pub label: String,
+    /// Data node value, `Display`-rendered.
+    pub value: String,
+}
+
+/// One pattern node's row of a simulation answer.
+#[derive(Debug, Clone)]
+pub struct SimRowView {
+    /// Pattern-node display name.
+    pub node: String,
+    /// Pattern-node label name.
+    pub label: String,
+    /// Total data nodes simulating this pattern node.
+    pub total: usize,
+    /// Sample of their ids (at least `min(total, show)` entries).
+    pub ids: Vec<u32>,
+}
+
+/// A display-ready answer.
+#[derive(Debug, Clone)]
+pub enum AnswerView {
+    /// Isomorphism: total match count plus (at least the first `show`)
+    /// rows.
+    Matches {
+        /// Total matches in the answer.
+        total: usize,
+        /// Match rows in canonical order; may hold only the rows to show.
+        rows: Vec<Vec<BindingView>>,
+    },
+    /// Simulation: total pair count plus one row per pattern node.
+    Simulation {
+        /// Total `(u, v)` pairs in the relation.
+        pairs: usize,
+        /// Per-pattern-node rows, in pattern-node order.
+        rows: Vec<SimRowView>,
+    },
+}
+
+/// Writes the canonical `strategy:` + `answer:` block.
+pub fn write_answer(
+    out: &mut dyn Write,
+    strategy: &str,
+    view: &AnswerView,
+    show: usize,
+) -> std::io::Result<()> {
+    writeln!(out, "strategy: {strategy}")?;
+    match view {
+        AnswerView::Matches { total, rows } => {
+            writeln!(out, "answer: {total} matches")?;
+            for row in rows.iter().take(show) {
+                let parts: Vec<String> = row
+                    .iter()
+                    .map(|b| format!("{}={} ({}={})", b.node, b.id, b.label, b.value))
+                    .collect();
+                writeln!(out, "  {}", parts.join("  "))?;
+            }
+            if *total > show {
+                writeln!(out, "  ... ({} more; raise --show)", total - show)?;
+            }
+        }
+        AnswerView::Simulation { pairs, rows } => {
+            writeln!(
+                out,
+                "answer: maximum simulation relation, {pairs} (u, v) pairs"
+            )?;
+            for row in rows {
+                let sample: Vec<String> =
+                    row.ids.iter().take(show).map(|v| v.to_string()).collect();
+                writeln!(
+                    out,
+                    "  {} ({}): {} nodes{}",
+                    row.node,
+                    row.label,
+                    row.total,
+                    if row.total == 0 {
+                        String::new()
+                    } else {
+                        format!(
+                            "  [{}{}]",
+                            sample.join(", "),
+                            if row.total > show { ", ..." } else { "" }
+                        )
+                    }
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(view: &AnswerView, show: usize) -> String {
+        let mut out = Vec::new();
+        write_answer(&mut out, "baseline (VF2/gsim)", view, show).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn match_block_prints_rows_and_overflow() {
+        let row = |id: u32| {
+            vec![BindingView {
+                node: "m".into(),
+                id,
+                label: "movie".into(),
+                value: "\"Argo\"".into(),
+            }]
+        };
+        let text = render(
+            &AnswerView::Matches {
+                total: 3,
+                rows: vec![row(1), row(2), row(3)],
+            },
+            2,
+        );
+        assert_eq!(
+            text,
+            "strategy: baseline (VF2/gsim)\n\
+             answer: 3 matches\n  m=1 (movie=\"Argo\")\n  m=2 (movie=\"Argo\")\n\
+             \x20 ... (1 more; raise --show)\n"
+        );
+    }
+
+    #[test]
+    fn simulation_block_handles_empty_and_sampled_rows() {
+        let text = render(
+            &AnswerView::Simulation {
+                pairs: 4,
+                rows: vec![
+                    SimRowView {
+                        node: "p".into(),
+                        label: "post".into(),
+                        total: 4,
+                        ids: vec![3, 5, 8, 9],
+                    },
+                    SimRowView {
+                        node: "u1".into(),
+                        label: "user".into(),
+                        total: 0,
+                        ids: vec![],
+                    },
+                ],
+            },
+            2,
+        );
+        assert_eq!(
+            text,
+            "strategy: baseline (VF2/gsim)\n\
+             answer: maximum simulation relation, 4 (u, v) pairs\n\
+             \x20 p (post): 4 nodes  [3, 5, ...]\n  u1 (user): 0 nodes\n"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Mapping service-level deadlines onto the engine's deterministic budgets.
+//!
+//! The engine's only notion of "time" is the search-step budget
+//! ([`QueryRequest::step_budget`](crate::QueryRequest::step_budget)): a
+//! deterministic counter the matchers check as they expand search-tree
+//! nodes. A serving front end, however, promises clients *wall-clock*
+//! deadlines ("answer within 50 ms or tell me you couldn't"). [`BudgetPolicy`]
+//! bridges the two: it converts a deadline into a step budget using a
+//! calibrated steps-per-millisecond rate, so the service-level contract maps
+//! onto the same mechanism that makes bounded evaluation enforceable inside
+//! the engine — and stays reproducible in tests, where a real timer would
+//! flake.
+//!
+//! The default rate is deliberately conservative (a step is a candidate
+//! expansion plus predicate/adjacency checks, tens of nanoseconds in release
+//! builds; we budget as if each cost 50 ns) so a deadline-derived budget
+//! aborts *before* the wall-clock deadline on release hardware rather than
+//! after.
+
+use std::time::Duration;
+
+/// Converts per-request deadlines into engine step budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetPolicy {
+    /// Matcher steps granted per millisecond of deadline.
+    pub steps_per_milli: u64,
+    /// Lower bound on any derived budget, so a tiny deadline still lets a
+    /// query inspect a handful of candidates instead of aborting on arrival.
+    pub floor_steps: u64,
+}
+
+impl Default for BudgetPolicy {
+    /// 20 000 steps/ms (50 ns/step) with a 500-step floor.
+    fn default() -> Self {
+        BudgetPolicy {
+            steps_per_milli: 20_000,
+            floor_steps: 500,
+        }
+    }
+}
+
+impl BudgetPolicy {
+    /// The step budget for a request that must finish within `deadline`.
+    /// Sub-millisecond deadlines round up to one millisecond before the
+    /// floor applies; the result saturates instead of overflowing.
+    pub fn step_budget_for(&self, deadline: Duration) -> u64 {
+        let millis = u64::try_from(deadline.as_millis().max(1)).unwrap_or(u64::MAX);
+        millis
+            .saturating_mul(self.steps_per_milli)
+            .max(self.floor_steps)
+    }
+
+    /// Combines a deadline with an explicit step budget: the effective
+    /// budget is the smaller of the two (a client may not buy more work
+    /// with a long deadline than its explicit budget allows, nor the other
+    /// way around).
+    pub fn effective_step_budget(
+        &self,
+        deadline: Option<Duration>,
+        explicit: Option<u64>,
+    ) -> Option<u64> {
+        match (deadline.map(|d| self.step_budget_for(d)), explicit) {
+            (Some(from_deadline), Some(explicit)) => Some(from_deadline.min(explicit)),
+            (Some(from_deadline), None) => Some(from_deadline),
+            (None, explicit) => explicit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_maps_linearly_with_floor() {
+        let policy = BudgetPolicy::default();
+        assert_eq!(policy.step_budget_for(Duration::from_millis(10)), 200_000);
+        // Sub-millisecond deadlines get one millisecond's worth of steps.
+        assert_eq!(policy.step_budget_for(Duration::from_micros(100)), 20_000);
+        let tiny = BudgetPolicy {
+            steps_per_milli: 10,
+            floor_steps: 500,
+        };
+        assert_eq!(tiny.step_budget_for(Duration::from_millis(3)), 500);
+        assert_eq!(tiny.step_budget_for(Duration::from_millis(60)), 600);
+    }
+
+    #[test]
+    fn huge_deadlines_saturate() {
+        let policy = BudgetPolicy::default();
+        assert_eq!(policy.step_budget_for(Duration::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn effective_budget_takes_the_minimum() {
+        let policy = BudgetPolicy {
+            steps_per_milli: 1_000,
+            floor_steps: 1,
+        };
+        let d = Some(Duration::from_millis(5)); // 5_000 steps
+        assert_eq!(policy.effective_step_budget(d, None), Some(5_000));
+        assert_eq!(policy.effective_step_budget(d, Some(2_000)), Some(2_000));
+        assert_eq!(policy.effective_step_budget(d, Some(9_000)), Some(5_000));
+        assert_eq!(policy.effective_step_budget(None, Some(7)), Some(7));
+        assert_eq!(policy.effective_step_budget(None, None), None);
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod cache;
 pub mod engine;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod response;
 pub mod stats;
 pub mod strategy;
 
+pub use budget::BudgetPolicy;
 pub use cache::SharedPlanCache;
 pub use engine::{Engine, DEFAULT_PLAN_CACHE_CAPACITY, INITIAL_SNAPSHOT_VERSION};
 pub use error::BgpqError;

@@ -118,6 +118,17 @@ impl QueryRequestBuilder {
         self
     }
 
+    /// Applies a wall-clock deadline by mapping it onto the step budget via
+    /// `policy` (see [`BudgetPolicy`](crate::BudgetPolicy)): the effective
+    /// budget becomes the minimum of any explicit
+    /// [`step_budget`](QueryRequestBuilder::step_budget) and the
+    /// deadline-derived one, keeping deadline enforcement deterministic.
+    pub fn deadline(mut self, deadline: std::time::Duration, policy: &crate::BudgetPolicy) -> Self {
+        self.request.step_budget =
+            policy.effective_step_budget(Some(deadline), self.request.step_budget);
+        self
+    }
+
     /// Requests an [`Explain`](crate::Explain) in the response: the plan (or
     /// the planner's refusal) and the reason the strategy was picked.
     pub fn explain(mut self, on: bool) -> Self {
@@ -169,5 +180,29 @@ mod tests {
         assert!(r.explain_requested());
         assert_eq!(r.forced_strategy(), Some(StrategyKind::Baseline));
         assert_eq!(r.pattern().node_count(), 0);
+    }
+
+    #[test]
+    fn deadline_tightens_the_step_budget() {
+        let policy = crate::BudgetPolicy {
+            steps_per_milli: 1_000,
+            floor_steps: 1,
+        };
+        let q = PatternBuilder::new().build();
+        let r = QueryRequest::build(q.clone())
+            .deadline(std::time::Duration::from_millis(3), &policy)
+            .finish();
+        assert_eq!(r.step_budget(), Some(3_000));
+        // An explicit tighter budget wins; a looser one is clamped.
+        let r = QueryRequest::build(q.clone())
+            .step_budget(100)
+            .deadline(std::time::Duration::from_millis(3), &policy)
+            .finish();
+        assert_eq!(r.step_budget(), Some(100));
+        let r = QueryRequest::build(q)
+            .step_budget(50_000)
+            .deadline(std::time::Duration::from_millis(3), &policy)
+            .finish();
+        assert_eq!(r.step_budget(), Some(3_000));
     }
 }

@@ -64,6 +64,57 @@ pub struct Explain {
     pub fallback_reason: Option<String>,
 }
 
+impl Explain {
+    /// Renders the explain as human-readable lines — the canonical textual
+    /// form shared by every front end (`bgpq query` prints these locally;
+    /// the network server ships them pre-rendered so a graph-less remote
+    /// client displays the identical plan).
+    pub fn render_lines(
+        &self,
+        pattern: &bgpq_pattern::Pattern,
+        schema: &bgpq_access::AccessSchema,
+        interner: &bgpq_graph::LabelInterner,
+    ) -> Vec<String> {
+        let node_display = |u: bgpq_pattern::PatternNodeId| match pattern.node_name(u) {
+            Some(name) => name.to_string(),
+            None => u.to_string(),
+        };
+        let mut lines = Vec::new();
+        match &self.plan {
+            Some(plan) => {
+                lines.push(format!("plan ({:?} semantics):", plan.semantics));
+                for step in &plan.steps {
+                    let via: Vec<String> = step.via.iter().map(|&u| node_display(u)).collect();
+                    let constraint = schema
+                        .get(step.constraint)
+                        .map(|c| c.display_with(interner))
+                        .unwrap_or_else(|| step.constraint.to_string());
+                    lines.push(format!(
+                        "  fetch {} via {} [{}] (≤ {} candidates)",
+                        node_display(step.node),
+                        constraint,
+                        if via.is_empty() {
+                            "∅".to_string()
+                        } else {
+                            via.join(", ")
+                        },
+                        step.candidate_bound
+                    ));
+                }
+            }
+            None => {
+                lines.push(format!(
+                    "no bounded plan: {}",
+                    self.fallback_reason
+                        .as_deref()
+                        .unwrap_or("(strategy was forced)")
+                ));
+            }
+        }
+        lines
+    }
+}
+
 /// The outcome of one [`Engine::execute`](crate::Engine::execute) call.
 #[derive(Debug, Clone)]
 pub struct QueryResponse {

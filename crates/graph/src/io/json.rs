@@ -1,11 +1,14 @@
-//! A minimal JSON reader for the JSON-lines dataset format.
+//! A minimal JSON reader and writer, shared by the JSON-lines dataset
+//! format and the `bgpq-net` wire protocol.
 //!
 //! The workspace is dependency-free, so instead of `serde_json` this module
 //! provides just enough JSON to parse one dataset record per line: objects,
 //! arrays, strings (with escapes), numbers (kept as `i64` when they are
 //! integral so node attributes round-trip as [`crate::Value::Int`]), booleans
 //! and `null`. Errors carry a byte offset which the JSONL loader combines
-//! with its line number.
+//! with its line number. The writer side ([`write_json`] / [`Json::render`])
+//! emits exactly what the parser accepts, so protocol payloads and dataset
+//! records are encoded and decoded by one implementation.
 
 use std::fmt;
 
@@ -29,6 +32,21 @@ pub enum Json {
 }
 
 impl Json {
+    /// Builds a string value (convenience for protocol encoders).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an object from `(key, value)` pairs, in order.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
     /// Looks up a key of an object (`None` for absent keys or non-objects).
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -43,6 +61,46 @@ impl Json {
             Json::Int(i) if *i >= 0 => Some(*i as u64),
             _ => None,
         }
+    }
+
+    /// The value as an `i64`, when it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, coercing integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes this value into a compact JSON string (see [`write_json`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        write_json(&mut out, self);
+        out
     }
 
     /// The value as a string slice.
@@ -320,6 +378,46 @@ pub fn json_float_token(x: f64) -> Option<String> {
     }
 }
 
+/// Serializes `value` compactly (no whitespace) into `out`. The output
+/// parses back to an equal [`Json`] with one documented exception: JSON has
+/// no token for non-finite floats, so `NaN`/`±inf` are written as `null`
+/// rather than producing an unparseable document — encoders that must not
+/// lose them should reject such values up front (see [`json_float_token`]).
+pub fn write_json(out: &mut String, value: &Json) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(x) => match json_float_token(*x) {
+            Some(token) => out.push_str(&token),
+            None => out.push_str("null"),
+        },
+        Json::Str(s) => write_json_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, key);
+                out.push(':');
+                write_json(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Writes `s` as a JSON string literal (with the required escapes) into
 /// `out`.
 pub fn write_json_string(out: &mut String, s: &str) {
@@ -407,6 +505,50 @@ mod tests {
     fn duplicate_keys_keep_the_last() {
         let v = parse_json(r#"{"a": 1, "a": 2}"#).unwrap();
         assert_eq!(v.get("a"), Some(&Json::Int(2)));
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let value = Json::obj([
+            ("type", Json::str("query")),
+            ("n", Json::Int(-42)),
+            ("x", Json::Float(2.5)),
+            ("whole", Json::Float(7.0)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "items",
+                Json::Arr(vec![Json::Int(1), Json::str("a\"b\nc"), Json::Arr(vec![])]),
+            ),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let text = value.render();
+        assert_eq!(parse_json(&text).unwrap(), value);
+        // Whole floats keep their decimal point so they reload as floats.
+        assert!(text.contains("\"whole\":7.0"));
+        // Compact: no spaces outside strings.
+        assert!(!text.replace("a\\\"b\\nc", "").contains(' '));
+    }
+
+    #[test]
+    fn writer_maps_non_finite_floats_to_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn typed_accessors() {
+        assert_eq!(Json::Int(-3).as_i64(), Some(-3));
+        assert_eq!(Json::Str("x".into()).as_i64(), None);
+        assert_eq!(Json::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Json::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Int(1).as_bool(), None);
+        assert_eq!(
+            Json::Arr(vec![Json::Null]).as_arr().map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(Json::Null.as_arr(), None);
     }
 
     #[test]

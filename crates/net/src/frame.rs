@@ -1,0 +1,234 @@
+//! The frame layer: length-prefixed payloads over a byte stream.
+//!
+//! Every protocol message travels as one *frame*: a 4-byte big-endian
+//! unsigned length `N`, followed by `N` bytes of UTF-8 JSON. The prefix is
+//! what lets the server survive hostile or broken peers cheaply: an
+//! oversized length is rejected after reading just 4 bytes (no allocation
+//! proportional to the attacker's claim), a truncated body surfaces as a
+//! typed [`FrameError::Truncated`] instead of a hang, and a read timeout on
+//! the socket turns slow-loris dribbling into a clean close.
+//!
+//! The layer is symmetric — client and server use the same two functions —
+//! and byte-counting: both return the on-wire size so sessions can account
+//! traffic per client.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling a reader accepts for one frame, before configuration.
+pub const MAX_FRAME_BYTES_CEILING: u32 = 64 * 1024 * 1024;
+
+/// Default per-frame size limit (8 MiB), enough for thousands of streamed
+/// match rows per frame while keeping a hostile length prefix cheap.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 8 * 1024 * 1024;
+
+/// What went wrong while reading a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly between frames (not an error for
+    /// a session loop; callers usually treat it as "goodbye without the
+    /// courtesy frame").
+    Closed,
+    /// The length prefix exceeds the configured limit.
+    TooLarge {
+        /// The length the prefix claimed.
+        claimed: u32,
+        /// The configured limit.
+        limit: u32,
+    },
+    /// The stream ended (or timed out) mid-prefix or mid-payload.
+    Truncated {
+        /// Bytes of the frame actually received.
+        got: usize,
+        /// Bytes the frame should have had (prefix + payload).
+        wanted: usize,
+    },
+    /// The payload is not valid UTF-8.
+    InvalidUtf8,
+    /// An I/O error other than a mid-frame EOF or timeout.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge { claimed, limit } => {
+                write!(f, "frame of {claimed} bytes exceeds the {limit}-byte limit")
+            }
+            FrameError::Truncated { got, wanted } => {
+                write!(f, "truncated frame: got {got} of {wanted} bytes")
+            }
+            FrameError::InvalidUtf8 => write!(f, "frame payload is not valid UTF-8"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// True when the error is a read timeout (a stalled peer under a socket
+/// read timeout — the slow-loris case).
+pub fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads exactly `buf.len()` bytes, reporting how many arrived before an
+/// EOF or timeout cut the read short.
+fn read_exact_counted(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), (usize, io::Error)> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err((
+                    filled,
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-frame"),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err((filled, e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, returning its UTF-8 payload and the total on-wire bytes
+/// consumed (prefix included). A clean EOF *before* the first prefix byte is
+/// [`FrameError::Closed`]; anything mid-frame (EOF or read timeout) is
+/// [`FrameError::Truncated`].
+pub fn read_frame(reader: &mut impl Read, max_bytes: u32) -> Result<(String, u64), FrameError> {
+    let mut prefix = [0u8; 4];
+    if let Err((got, err)) = read_exact_counted(reader, &mut prefix) {
+        if got == 0 && err.kind() == io::ErrorKind::UnexpectedEof {
+            return Err(FrameError::Closed);
+        }
+        if err.kind() == io::ErrorKind::UnexpectedEof || is_timeout(&err) {
+            return Err(FrameError::Truncated { got, wanted: 4 });
+        }
+        return Err(FrameError::Io(err));
+    }
+    let len = u32::from_be_bytes(prefix);
+    let limit = max_bytes.min(MAX_FRAME_BYTES_CEILING);
+    if len > limit {
+        return Err(FrameError::TooLarge {
+            claimed: len,
+            limit,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    if let Err((got, err)) = read_exact_counted(reader, &mut payload) {
+        if err.kind() == io::ErrorKind::UnexpectedEof || is_timeout(&err) {
+            return Err(FrameError::Truncated {
+                got: 4 + got,
+                wanted: 4 + len as usize,
+            });
+        }
+        return Err(FrameError::Io(err));
+    }
+    let text = String::from_utf8(payload).map_err(|_| FrameError::InvalidUtf8)?;
+    Ok((text, 4 + len as u64))
+}
+
+/// Writes one frame and flushes, returning the on-wire bytes written.
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> io::Result<u64> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32 length",
+        )
+    })?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()?;
+    Ok(4 + payload.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn wire(payload: &str) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trips_and_counts_bytes() {
+        let bytes = wire("{\"type\":\"ping\"}");
+        assert_eq!(bytes.len(), 4 + 15);
+        let (text, n) = read_frame(&mut Cursor::new(&bytes), 1024).unwrap();
+        assert_eq!(text, "{\"type\":\"ping\"}");
+        assert_eq!(n, bytes.len() as u64);
+        // Several frames back to back.
+        let mut stream = wire("a");
+        stream.extend(wire("bb"));
+        let mut cursor = Cursor::new(&stream);
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap().0, "a");
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap().0, "bb");
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocation() {
+        let mut bytes = u32::MAX.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"whatever");
+        match read_frame(&mut Cursor::new(&bytes), 1024) {
+            Err(FrameError::TooLarge { claimed, limit }) => {
+                assert_eq!(claimed, u32::MAX);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported_with_byte_counts() {
+        // Prefix cut short.
+        let err = read_frame(&mut Cursor::new(&[0u8, 0]), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated { got: 2, wanted: 4 }));
+        // Payload cut short.
+        let mut bytes = 10u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"abc");
+        let err = read_frame(&mut Cursor::new(&bytes), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated { got: 7, wanted: 14 }));
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed() {
+        let mut bytes = 2u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bytes), 1024),
+            Err(FrameError::InvalidUtf8)
+        ));
+    }
+
+    #[test]
+    fn display_strings_are_informative() {
+        assert!(FrameError::Closed.to_string().contains("closed"));
+        assert!(FrameError::TooLarge {
+            claimed: 9,
+            limit: 4
+        }
+        .to_string()
+        .contains("exceeds"));
+        assert!(FrameError::Truncated { got: 1, wanted: 2 }
+            .to_string()
+            .contains("truncated"));
+    }
+}

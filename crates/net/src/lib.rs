@@ -1,0 +1,58 @@
+//! # bgpq-net
+//!
+//! The network front end of the `bgpq` serving stack: a dependency-free
+//! TCP wire protocol with production admission control, built from `std`
+//! alone (`std::net` sockets, the workspace's own JSON in
+//! [`bgpq_graph::io::json`]).
+//!
+//! Everything below this crate answers queries in-process. The paper's
+//! point, though, is *serving*: bounded evaluation matters because it
+//! makes query cost predictable enough to put behind a network interface
+//! with latency objectives. This crate is that interface:
+//!
+//! ```text
+//!   bgpq client ──┐  length-prefixed JSON frames   ┌────────────────────┐
+//!   bgpq client ──┼──────────── TCP ───────────────│ NetServer          │
+//!   loadgen     ──┘                                │  AdmissionGate     │
+//!                   hello → queries/updates/stats  │   ├─ admitted ─────│──► WorkerPool
+//!                   ◄─ streamed answers / errors   │   └─ overloaded /  │    (pinned
+//!                                                  │      draining ──► typed  snapshots)
+//!                                                  └────────── reject ──┘
+//! ```
+//!
+//! * [`frame`] — the byte layer: 4-byte big-endian length + UTF-8 JSON
+//!   payload, hostile-peer-safe (oversized prefixes rejected unallocated,
+//!   truncation and slow-loris surfaced as typed errors).
+//! * [`proto`] — the message layer: typed requests ([`Request`]) and
+//!   responses ([`Response`]) with symmetric encode/decode, streamed
+//!   answer frames, and machine-readable [`ErrorCode`]s separating client
+//!   mistakes from server state.
+//! * [`server`] — [`NetServer`]: per-connection sessions in front of
+//!   [`bgpq_serve::Server`]/[`bgpq_serve::WorkerPool`], bounded in-flight
+//!   admission with `overloaded` backpressure, wall-clock deadlines mapped
+//!   onto deterministic step budgets, graceful drain, and per-client /
+//!   per-server counters with log-bucketed latency percentiles.
+//! * [`client`] — [`Client`]: the blocking counterpart used by the
+//!   `bgpq serve` / `bgpq client` CLI subcommands and the benchmarks.
+//!
+//! The normative protocol description lives in `docs/PROTOCOL.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod histogram;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, CommitSummary, QueryOutcome};
+pub use error::ClientError;
+pub use frame::{FrameError, DEFAULT_MAX_FRAME_BYTES, MAX_FRAME_BYTES_CEILING};
+pub use histogram::LatencyHistogram;
+pub use proto::{
+    AnswerHeader, AnswerKind, DoneFrame, ErrorCode, MatchBinding, QuerySpec, Request, Response,
+    SimChunk, WireStats, PROTOCOL_VERSION,
+};
+pub use server::{NetServer, NetServerConfig, NetServerHandle};

@@ -1,0 +1,788 @@
+//! The TCP front end: listener, per-connection sessions, admission
+//! control, graceful drain and serving counters.
+//!
+//! One acceptor thread owns the [`TcpListener`]; each connection gets a
+//! session thread running the protocol state machine (handshake, then a
+//! request loop). Queries and updates pass the shared
+//! [`AdmissionGate`] *before* touching the
+//! engine: beyond `max_in_flight` concurrently admitted requests the
+//! server answers `overloaded` with a retry-after hint instead of
+//! queueing, and a draining server answers `draining` while admitted work
+//! runs to completion on its pinned snapshot. Admitted queries execute on
+//! the [`WorkerPool`] against a snapshot the
+//! session pins up front, so the rendered labels and values always belong
+//! to the exact version the answer was computed on.
+//!
+//! Shutdown is drain-first: [`NetServerHandle::shutdown`] stops admitting,
+//! waits for in-flight permits to drop (bounded by
+//! [`NetServerConfig::drain_timeout`]), then unblocks the acceptor and
+//! closes every session socket.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::histogram::LatencyHistogram;
+use crate::proto::{
+    AnswerHeader, AnswerKind, DoneFrame, ErrorCode, MatchBinding, QuerySpec, Request, Response,
+    SimChunk, WireStats, PROTOCOL_VERSION,
+};
+use bgpq_engine::{parse_pattern, BgpqError, BudgetPolicy, QueryAnswer, QueryRequest};
+use bgpq_graph::io::json::Json;
+use bgpq_serve::{Admission, AdmissionGate, GateStats, Server, Update, WorkerPool};
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`NetServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing admitted queries.
+    pub workers: usize,
+    /// Admission cap: maximum concurrently admitted queries/updates. Zero
+    /// is legal and rejects every request (out-of-rotation mode).
+    pub max_in_flight: usize,
+    /// Per-frame size limit for incoming frames.
+    pub max_frame_bytes: u32,
+    /// Socket read timeout per session. `None` lets idle clients (REPLs)
+    /// sit forever; setting it turns stalled or slow-loris peers into a
+    /// clean close once the timeout elapses.
+    pub read_timeout: Option<Duration>,
+    /// Server identification sent in the handshake acknowledgement.
+    pub server_name: String,
+    /// How wall-clock deadlines map onto deterministic step budgets.
+    pub budget_policy: BudgetPolicy,
+    /// Match rows per streamed frame.
+    pub rows_per_frame: usize,
+    /// How long [`NetServerHandle::shutdown`] waits for in-flight requests.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            max_in_flight: 8,
+            max_frame_bytes: crate::frame::DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: None,
+            server_name: "bgpq-net".into(),
+            budget_policy: BudgetPolicy::default(),
+            rows_per_frame: 64,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClientCounters {
+    requests: u64,
+    rejected: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+struct Shared {
+    server: Arc<Server>,
+    pool: WorkerPool,
+    gate: Arc<AdmissionGate>,
+    config: NetServerConfig,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    queries: AtomicU64,
+    updates: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+    clients: Mutex<BTreeMap<String, ClientCounters>>,
+    next_conn: AtomicU64,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The TCP front end; [`NetServer::start`] returns a handle controlling it.
+pub struct NetServer;
+
+impl NetServer {
+    /// Binds `config.addr` and starts serving `server`. The acceptor and
+    /// all sessions run on background threads; the returned handle is the
+    /// only way to drain and stop them.
+    pub fn start(server: Arc<Server>, config: NetServerConfig) -> std::io::Result<NetServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            pool: WorkerPool::new(Arc::clone(&server), config.workers.max(1)),
+            gate: AdmissionGate::new(config.max_in_flight),
+            server,
+            config,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            latency: Mutex::new(LatencyHistogram::new()),
+            clients: Mutex::new(BTreeMap::new()),
+            next_conn: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            sessions: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(NetServerHandle {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+/// Controls a running [`NetServer`]; dropping it shuts the server down.
+pub struct NetServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The served [`Server`], for out-of-band commits or direct queries.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.shared.server
+    }
+
+    /// Stops admitting queries and updates: subsequent ones get a
+    /// `draining` rejection while admitted work completes. `ping`, `stats`
+    /// and `goodbye` stay available. Idempotent.
+    pub fn drain(&self) {
+        self.shared.gate.begin_drain();
+    }
+
+    /// True once [`drain`](NetServerHandle::drain) (or shutdown) began.
+    pub fn is_draining(&self) -> bool {
+        self.shared.gate.is_draining()
+    }
+
+    /// Requests currently admitted.
+    pub fn in_flight(&self) -> usize {
+        self.shared.gate.in_flight()
+    }
+
+    /// Admission counters.
+    pub fn gate_stats(&self) -> GateStats {
+        self.shared.gate.stats()
+    }
+
+    /// Drains, waits for in-flight work (bounded by the configured
+    /// `drain_timeout`), then stops the acceptor, closes every session and
+    /// joins all threads. Returns whether the drain completed before the
+    /// timeout.
+    pub fn shutdown(mut self) -> bool {
+        self.stop_internal()
+    }
+
+    fn stop_internal(&mut self) -> bool {
+        let Some(acceptor) = self.acceptor.take() else {
+            return true;
+        };
+        self.shared.gate.begin_drain();
+        let drained = self
+            .shared
+            .gate
+            .await_idle(self.shared.config.drain_timeout);
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = acceptor.join();
+        for (_, conn) in self.shared.conns.lock().expect("conns poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let sessions: Vec<_> = self
+            .shared
+            .sessions
+            .lock()
+            .expect("sessions poisoned")
+            .drain(..)
+            .collect();
+        for session in sessions {
+            let _ = session.join();
+        }
+        drained
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        self.stop_internal();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let _ = stream.set_read_timeout(shared.config.read_timeout);
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .expect("conns poisoned")
+                .push((conn_id, clone));
+        }
+        let session = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                session_loop(Arc::clone(&shared), stream);
+                // The session's own stream is gone, but the tracked clone
+                // keeps the descriptor open — shut the socket down so the
+                // peer sees EOF, and drop the clone to free the slot.
+                let mut conns = shared.conns.lock().expect("conns poisoned");
+                if let Some(pos) = conns.iter().position(|(id, _)| *id == conn_id) {
+                    let (_, conn) = conns.swap_remove(pos);
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+            })
+        };
+        shared
+            .sessions
+            .lock()
+            .expect("sessions poisoned")
+            .push(session);
+    }
+}
+
+/// One session's mutable half: the framed writer plus byte/error
+/// accounting against the shared counters.
+struct SessionOut<'a> {
+    shared: &'a Shared,
+    writer: BufWriter<TcpStream>,
+    client: Option<String>,
+}
+
+impl SessionOut<'_> {
+    fn send(&mut self, response: &Response) -> std::io::Result<()> {
+        if matches!(response, Response::Error { .. }) {
+            self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let bytes = write_frame(&mut self.writer, &response.encode())?;
+        self.shared.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(name) = &self.client {
+            let mut clients = self.shared.clients.lock().expect("clients poisoned");
+            clients.entry(name.clone()).or_default().bytes_out += bytes;
+        }
+        Ok(())
+    }
+
+    fn send_error(
+        &mut self,
+        code: ErrorCode,
+        message: impl Into<String>,
+        retry_after_ms: Option<u64>,
+    ) -> std::io::Result<()> {
+        self.send(&Response::Error {
+            code,
+            message: message.into(),
+            retry_after_ms,
+        })
+    }
+}
+
+fn session_loop(shared: Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut out = SessionOut {
+        shared: &shared,
+        writer: BufWriter::new(stream),
+        client: None,
+    };
+
+    // Handshake: the first frame must be a matching `hello`. Any protocol
+    // violation here gets a typed error and a close.
+    let payload = match next_payload(&shared, &mut reader, &mut out) {
+        Some(p) => p,
+        None => return,
+    };
+    match Request::decode(&payload) {
+        Ok(Request::Hello { protocol, client }) => {
+            if protocol != PROTOCOL_VERSION {
+                let _ = out.send_error(
+                    ErrorCode::Protocol,
+                    format!(
+                        "unsupported protocol version {protocol} (server speaks {PROTOCOL_VERSION})"
+                    ),
+                    None,
+                );
+                return;
+            }
+            shared
+                .clients
+                .lock()
+                .expect("clients poisoned")
+                .entry(client.clone())
+                .or_default();
+            out.client = Some(client);
+            let ack = Response::HelloAck {
+                protocol: PROTOCOL_VERSION,
+                server: shared.config.server_name.clone(),
+                epoch: shared.server.version(),
+            };
+            if out.send(&ack).is_err() {
+                return;
+            }
+        }
+        Ok(_) => {
+            let _ = out.send_error(
+                ErrorCode::Protocol,
+                "expected a hello frame before any request",
+                None,
+            );
+            return;
+        }
+        Err(e) => {
+            let _ = out.send_error(ErrorCode::Parse, e, None);
+            return;
+        }
+    }
+
+    // Request loop. Client-side mistakes (parse errors, bad patterns) are
+    // answered and the session continues; framing violations close it.
+    loop {
+        let payload = match next_payload(&shared, &mut reader, &mut out) {
+            Some(p) => p,
+            None => return,
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(name) = &out.client {
+            let mut clients = shared.clients.lock().expect("clients poisoned");
+            clients.entry(name.clone()).or_default().requests += 1;
+        }
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                if out.send_error(ErrorCode::Parse, e, None).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let flow = match request {
+            Request::Hello { .. } => {
+                let _ = out.send_error(ErrorCode::Protocol, "duplicate hello", None);
+                return;
+            }
+            Request::Query(spec) => handle_query(&shared, &mut out, spec),
+            Request::Update(updates) => handle_update(&shared, &mut out, &updates),
+            Request::Stats => out.send(&Response::Stats(stats_json(&shared))),
+            Request::Ping => out.send(&Response::Pong {
+                epoch: shared.server.version(),
+            }),
+            Request::Goodbye => {
+                let _ = out.send(&Response::GoodbyeAck);
+                return;
+            }
+        };
+        if flow.is_err() {
+            return; // peer gone mid-response
+        }
+    }
+}
+
+/// Reads the next frame, translating framing failures into the protocol's
+/// close semantics. `None` means the session is over (the error, if any,
+/// was already reported best-effort).
+fn next_payload(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    out: &mut SessionOut<'_>,
+) -> Option<String> {
+    match read_frame(reader, shared.config.max_frame_bytes) {
+        Ok((payload, bytes)) => {
+            shared.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+            if let Some(name) = &out.client {
+                let mut clients = shared.clients.lock().expect("clients poisoned");
+                clients.entry(name.clone()).or_default().bytes_in += bytes;
+            }
+            Some(payload)
+        }
+        Err(FrameError::Closed) => None,
+        Err(FrameError::Truncated { got: 0, .. }) => {
+            // Idle past the read timeout with no frame started: close
+            // quietly (an idle REPL, or a slow-loris peer that sent nothing).
+            None
+        }
+        Err(FrameError::TooLarge { claimed, limit }) => {
+            let _ = out.send_error(
+                ErrorCode::TooLarge,
+                format!("frame of {claimed} bytes exceeds the {limit}-byte limit"),
+                None,
+            );
+            None
+        }
+        Err(err @ (FrameError::Truncated { .. } | FrameError::InvalidUtf8)) => {
+            let _ = out.send_error(ErrorCode::Protocol, err.to_string(), None);
+            None
+        }
+        Err(FrameError::Io(_)) => None,
+    }
+}
+
+/// Back-off hint for `overloaded` rejections: about half the typical
+/// (p50) query latency, clamped to [1, 1000] ms; 5 ms before any sample.
+fn retry_hint_ms(shared: &Shared) -> u64 {
+    let hist = shared.latency.lock().expect("latency poisoned");
+    if hist.count() == 0 {
+        return 5;
+    }
+    (hist.quantile(0.5) / 2_000).clamp(1, 1_000)
+}
+
+fn reject(shared: &Shared, out: &mut SessionOut<'_>, admission: Admission) -> std::io::Result<()> {
+    if let Some(name) = &out.client {
+        let mut clients = shared.clients.lock().expect("clients poisoned");
+        clients.entry(name.clone()).or_default().rejected += 1;
+    }
+    match admission {
+        Admission::Overloaded { in_flight, limit } => out.send_error(
+            ErrorCode::Overloaded,
+            format!("{in_flight} requests in flight (limit {limit})"),
+            Some(retry_hint_ms(shared)),
+        ),
+        Admission::Draining => out.send_error(
+            ErrorCode::Draining,
+            "server is draining; new requests are not admitted",
+            None,
+        ),
+        Admission::Admitted(_) => unreachable!("reject called with an admitted permit"),
+    }
+}
+
+fn map_engine_error(err: &BgpqError) -> (ErrorCode, String) {
+    match err {
+        BgpqError::Unbounded(e) => (ErrorCode::Unbounded, e.to_string()),
+        BgpqError::StrategyUnavailable { .. } => (ErrorCode::StrategyUnavailable, err.to_string()),
+        BgpqError::PatternMismatch { .. } => (ErrorCode::BadPattern, err.to_string()),
+        BgpqError::Graph(e) => (ErrorCode::Internal, e.to_string()),
+    }
+}
+
+fn handle_query(shared: &Shared, out: &mut SessionOut<'_>, spec: QuerySpec) -> std::io::Result<()> {
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    let permit = match shared.gate.try_admit() {
+        Admission::Admitted(permit) => permit,
+        rejected => return reject(shared, out, rejected),
+    };
+    let started = Instant::now();
+
+    // Pin one snapshot for the whole request: the pool executes on it and
+    // the bindings below render labels/values from the same version.
+    let snapshot = shared.server.snapshot();
+    let pattern = match parse_pattern(&spec.pattern, snapshot.graph().interner().clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            drop(permit);
+            return out.send_error(ErrorCode::BadPattern, e.to_string(), None);
+        }
+    };
+    let mut builder = QueryRequest::build(pattern.clone())
+        .semantics(spec.semantics)
+        .explain(spec.explain);
+    if let Some(kind) = spec.strategy {
+        builder = builder.strategy(kind);
+    }
+    if let Some(n) = spec.max_matches {
+        builder = builder.max_matches(n);
+    }
+    if let Some(n) = spec.step_budget {
+        builder = builder.step_budget(n);
+    }
+    if let Some(ms) = spec.deadline_ms {
+        builder = builder.deadline(Duration::from_millis(ms), &shared.config.budget_policy);
+    }
+    let result = match shared
+        .pool
+        .submit_pinned(Arc::clone(&snapshot), builder.finish())
+        .recv()
+    {
+        Ok(result) => result,
+        Err(_) => {
+            drop(permit);
+            return out.send_error(ErrorCode::Internal, "worker pool unavailable", None);
+        }
+    };
+
+    let flow = match result {
+        Err(err) => {
+            let (code, message) = map_engine_error(&err);
+            out.send_error(code, message, None)
+        }
+        Ok(response) => {
+            // An abort is a deadline overrun — a typed error — when the
+            // deadline-derived budget was the binding constraint; an abort
+            // under a tighter *explicit* budget is an ordinary truncated
+            // answer with `done.aborted` set.
+            let deadline_blamed = response.stats.aborted
+                && spec.deadline_ms.is_some_and(|ms| {
+                    let derived = shared
+                        .config
+                        .budget_policy
+                        .step_budget_for(Duration::from_millis(ms));
+                    derived <= spec.step_budget.unwrap_or(u64::MAX)
+                });
+            if deadline_blamed {
+                out.send_error(
+                    ErrorCode::BudgetExceeded,
+                    format!(
+                        "deadline of {} ms exhausted the step budget before completion",
+                        spec.deadline_ms.unwrap_or(0)
+                    ),
+                    None,
+                )
+            } else {
+                stream_answer(shared, out, &response, &pattern, &snapshot)
+            }
+        }
+    };
+    shared
+        .latency
+        .lock()
+        .expect("latency poisoned")
+        .record(started.elapsed().as_micros() as u64);
+    drop(permit); // response fully written: free the admission slot
+    flow
+}
+
+fn node_display(pattern: &bgpq_pattern::Pattern, u: bgpq_pattern::PatternNodeId) -> String {
+    match pattern.node_name(u) {
+        Some(name) => name.to_string(),
+        None => u.to_string(),
+    }
+}
+
+fn stream_answer(
+    shared: &Shared,
+    out: &mut SessionOut<'_>,
+    response: &bgpq_engine::QueryResponse,
+    pattern: &bgpq_pattern::Pattern,
+    snapshot: &bgpq_serve::Snapshot,
+) -> std::io::Result<()> {
+    let graph = snapshot.graph();
+    let rows_per_frame = shared.config.rows_per_frame.max(1);
+    let kind = match &response.answer {
+        QueryAnswer::Matches(_) => AnswerKind::Matches,
+        QueryAnswer::Simulation(_) => AnswerKind::Simulation,
+    };
+    out.send(&Response::Answer(AnswerHeader {
+        kind,
+        strategy: response.strategy.to_string(),
+        snapshot_version: response.stats.snapshot_version,
+        total: response.answer.len() as u64,
+    }))?;
+
+    match &response.answer {
+        QueryAnswer::Matches(matches) => {
+            let mut chunk: Vec<Vec<MatchBinding>> = Vec::with_capacity(rows_per_frame);
+            for m in matches.iter() {
+                let row = pattern
+                    .nodes()
+                    .map(|u| {
+                        let v = m.node_for(u);
+                        MatchBinding {
+                            node: node_display(pattern, u),
+                            id: v.0,
+                            label: graph.label_name(v).to_string(),
+                            value: graph.value(v).to_string(),
+                        }
+                    })
+                    .collect();
+                chunk.push(row);
+                if chunk.len() == rows_per_frame {
+                    out.send(&Response::MatchRows(std::mem::take(&mut chunk)))?;
+                }
+            }
+            if !chunk.is_empty() {
+                out.send(&Response::MatchRows(chunk))?;
+            }
+        }
+        QueryAnswer::Simulation(relation) => {
+            let ids_per_chunk = rows_per_frame * 8;
+            for (index, u) in pattern.nodes().enumerate() {
+                let vs = relation.matches_of(u);
+                let ids: Vec<u32> = vs.iter().map(|v| v.0).collect();
+                // Every pattern node gets at least one chunk (possibly with
+                // no ids) so the client renders empty rows too.
+                let mut sent_any = false;
+                for piece in ids.chunks(ids_per_chunk.max(1)) {
+                    out.send(&Response::SimRows(vec![SimChunk {
+                        node_index: index as u32,
+                        node: node_display(pattern, u),
+                        label: pattern.label_name(u),
+                        total: ids.len() as u64,
+                        ids: piece.to_vec(),
+                    }]))?;
+                    sent_any = true;
+                }
+                if !sent_any {
+                    out.send(&Response::SimRows(vec![SimChunk {
+                        node_index: index as u32,
+                        node: node_display(pattern, u),
+                        label: pattern.label_name(u),
+                        total: 0,
+                        ids: Vec::new(),
+                    }]))?;
+                }
+            }
+        }
+    }
+
+    let stats = &response.stats;
+    let explain = response.explain.as_ref().map(|ex| {
+        ex.render_lines(
+            pattern,
+            snapshot.engine().indices().schema(),
+            graph.interner(),
+        )
+    });
+    out.send(&Response::Done(DoneFrame {
+        aborted: stats.aborted,
+        stats: WireStats {
+            plan_nanos: stats.plan_nanos,
+            fragment_build_nanos: stats.fragment_build_nanos,
+            match_nanos: stats.match_nanos,
+            total_nanos: stats.total_nanos,
+            fragment_nodes: stats.fetch.as_ref().map(|f| f.fragment_nodes as u64),
+            worst_case_nodes: stats.worst_case_nodes,
+        },
+        explain,
+    }))
+}
+
+fn handle_update(
+    shared: &Shared,
+    out: &mut SessionOut<'_>,
+    updates: &[Update],
+) -> std::io::Result<()> {
+    shared.updates.fetch_add(1, Ordering::Relaxed);
+    let permit = match shared.gate.try_admit() {
+        Admission::Admitted(permit) => permit,
+        rejected => return reject(shared, out, rejected),
+    };
+    let flow = match shared.server.commit(updates) {
+        Ok(receipt) => out.send(&Response::Committed {
+            version: receipt.version,
+            deltas: receipt.deltas as u64,
+            new_nodes: receipt.new_nodes.iter().map(|n| n.0).collect(),
+        }),
+        Err(err) => out.send_error(ErrorCode::BadUpdate, err.to_string(), None),
+    };
+    drop(permit);
+    flow
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let gate = shared.gate.stats();
+    let server = shared.server.stats();
+    let latency = {
+        let hist = shared.latency.lock().expect("latency poisoned");
+        Json::obj([
+            ("count", Json::Int(hist.count() as i64)),
+            ("mean", Json::Int(hist.mean() as i64)),
+            ("p50", Json::Int(hist.quantile(0.5) as i64)),
+            ("p95", Json::Int(hist.quantile(0.95) as i64)),
+            ("p99", Json::Int(hist.quantile(0.99) as i64)),
+            ("max", Json::Int(hist.max() as i64)),
+        ])
+    };
+    let clients = {
+        let clients = shared.clients.lock().expect("clients poisoned");
+        Json::Arr(
+            clients
+                .iter()
+                .map(|(name, c)| {
+                    Json::obj([
+                        ("name", Json::str(name.clone())),
+                        ("requests", Json::Int(c.requests as i64)),
+                        ("rejected", Json::Int(c.rejected as i64)),
+                        ("bytes_in", Json::Int(c.bytes_in as i64)),
+                        ("bytes_out", Json::Int(c.bytes_out as i64)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    Json::obj([
+        (
+            "server",
+            Json::obj([
+                ("name", Json::str(shared.config.server_name.clone())),
+                ("protocol", Json::Int(PROTOCOL_VERSION as i64)),
+                ("epoch", Json::Int(server.epoch as i64)),
+                ("commits", Json::Int(server.commits as i64)),
+                ("draining", Json::Bool(shared.gate.is_draining())),
+                ("in_flight", Json::Int(shared.gate.in_flight() as i64)),
+                ("limit", Json::Int(shared.gate.limit() as i64)),
+                (
+                    "requests",
+                    Json::Int(shared.requests.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "queries",
+                    Json::Int(shared.queries.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "updates",
+                    Json::Int(shared.updates.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "errors",
+                    Json::Int(shared.errors.load(Ordering::Relaxed) as i64),
+                ),
+                ("admitted", Json::Int(gate.admitted as i64)),
+                (
+                    "rejected_overloaded",
+                    Json::Int(gate.rejected_overloaded as i64),
+                ),
+                (
+                    "rejected_draining",
+                    Json::Int(gate.rejected_draining as i64),
+                ),
+                ("peak_in_flight", Json::Int(gate.peak_in_flight as i64)),
+                (
+                    "bytes_in",
+                    Json::Int(shared.bytes_in.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "bytes_out",
+                    Json::Int(shared.bytes_out.load(Ordering::Relaxed) as i64),
+                ),
+                ("latency_us", latency),
+            ]),
+        ),
+        ("clients", clients),
+    ])
+}

@@ -1,0 +1,413 @@
+//! Loopback integration: real TCP connections against a [`NetServer`].
+//!
+//! These tests prove the wire protocol is lossless (answers received over
+//! TCP equal direct [`Server::execute`] on the same snapshot), that
+//! admission control produces the typed `overloaded` / `draining`
+//! rejections, that drain lets in-flight queries finish, and that client
+//! deadlines map onto deterministic step budgets with the documented blame
+//! rule (deadline-derived abort → `budget_exceeded` error; explicit-budget
+//! abort → truncated answer with `aborted` set).
+
+use bgpq_engine::{
+    parse_pattern, AccessConstraint, AccessSchema, BudgetPolicy, QueryAnswer, QueryRequest,
+    Semantics, StrategyKind,
+};
+use bgpq_graph::{Graph, GraphBuilder, NodeId, Value};
+use bgpq_net::{
+    AnswerKind, Client, ErrorCode, NetServer, NetServerConfig, NetServerHandle, QuerySpec,
+};
+use bgpq_serve::{Server, Update};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// IMDb-shaped fixture: `movies` clusters of (year, award) → movie → actors.
+fn fixture(movies: usize) -> (Graph, AccessSchema) {
+    let mut b = GraphBuilder::new();
+    let years: Vec<_> = (0..10)
+        .map(|i| b.add_node("year", Value::Int(2000 + i)))
+        .collect();
+    let awards: Vec<_> = (0..3)
+        .map(|i| b.add_node("award", Value::str(format!("award{i}"))))
+        .collect();
+    for i in 0..movies {
+        let m = b.add_node("movie", Value::Int(i as i64));
+        b.add_edge(years[i % years.len()], m).unwrap();
+        b.add_edge(awards[i % awards.len()], m).unwrap();
+        for j in 0..2 {
+            let a = b.add_node("actor", Value::Int((10 * i + j) as i64));
+            b.add_edge(m, a).unwrap();
+        }
+    }
+    let g = b.build();
+    let l = |name: &str| g.interner().get(name).unwrap();
+    let schema = AccessSchema::from_constraints([
+        AccessConstraint::global(l("year"), 10),
+        AccessConstraint::global(l("award"), 3),
+        AccessConstraint::new([l("year"), l("award")], l("movie"), movies),
+        AccessConstraint::unary(l("movie"), l("actor"), 4),
+    ]);
+    (g, schema)
+}
+
+const YEAR_QUERY: &str = "node y: year where value = 2003\n\
+                          node m: movie\n\
+                          node a: actor\n\
+                          edge y -> m\n\
+                          edge m -> a\n";
+
+fn start(movies: usize, config: NetServerConfig) -> NetServerHandle {
+    let (graph, schema) = fixture(movies);
+    let server = Arc::new(Server::new(graph, &schema));
+    NetServer::start(server, config).expect("bind loopback")
+}
+
+fn connect(handle: &NetServerHandle, name: &str) -> Client {
+    Client::connect(handle.local_addr(), name).expect("connect")
+}
+
+#[test]
+fn tcp_answers_equal_direct_execution() {
+    let handle = start(40, NetServerConfig::default());
+    let mut client = connect(&handle, "parity");
+
+    for (semantics, strategy) in [
+        (Semantics::Isomorphism, None),
+        (Semantics::Isomorphism, Some(StrategyKind::Baseline)),
+        (Semantics::Simulation, None),
+    ] {
+        let mut spec = QuerySpec::new(YEAR_QUERY);
+        spec.semantics = semantics;
+        spec.strategy = strategy;
+        let outcome = client.query(&spec).expect("query over TCP");
+
+        // Direct execution on the same snapshot version.
+        let snapshot = handle.server().snapshot();
+        assert_eq!(outcome.header.snapshot_version, snapshot.version());
+        let pattern =
+            parse_pattern(YEAR_QUERY, snapshot.graph().interner().clone()).expect("pattern");
+        let mut builder = QueryRequest::build(pattern.clone()).semantics(semantics);
+        if let Some(kind) = strategy {
+            builder = builder.strategy(kind);
+        }
+        let direct = snapshot.execute(&builder.finish()).expect("direct");
+        assert_eq!(outcome.header.strategy, direct.strategy.to_string());
+
+        match (&direct.answer, outcome.header.kind) {
+            (QueryAnswer::Matches(matches), AnswerKind::Matches) => {
+                assert_eq!(outcome.header.total as usize, matches.len());
+                assert_eq!(outcome.matches.len(), matches.len());
+                // Every row carries the same bindings, in canonical order.
+                for (wire_row, direct_row) in outcome.matches.iter().zip(matches.iter()) {
+                    let direct_ids: Vec<u32> =
+                        pattern.nodes().map(|u| direct_row.node_for(u).0).collect();
+                    let wire_ids: Vec<u32> = wire_row.iter().map(|b| b.id).collect();
+                    assert_eq!(wire_ids, direct_ids);
+                }
+            }
+            (QueryAnswer::Simulation(relation), AnswerKind::Simulation) => {
+                assert_eq!(outcome.header.total as usize, relation.pair_count());
+                for (index, u) in pattern.nodes().enumerate() {
+                    let mut direct_ids: Vec<u32> =
+                        relation.matches_of(u).iter().map(|v| v.0).collect();
+                    direct_ids.sort_unstable();
+                    let mut wire_ids: Vec<u32> = outcome
+                        .sim
+                        .iter()
+                        .filter(|c| c.node_index == index as u32)
+                        .flat_map(|c| c.ids.iter().copied())
+                        .collect();
+                    wire_ids.sort_unstable();
+                    assert_eq!(wire_ids, direct_ids, "node index {index}");
+                }
+            }
+            (answer, kind) => panic!("kind mismatch: direct {answer:?} vs wire {kind:?}"),
+        }
+        assert!(!outcome.done.aborted);
+    }
+    client.goodbye().unwrap();
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn concurrent_clients_and_writer_see_consistent_snapshots() {
+    let handle = start(30, NetServerConfig::default());
+    let addr = handle.local_addr();
+
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, &format!("reader-{r}")).expect("connect");
+                let mut last_version = 0u64;
+                for round in 0..12 {
+                    let mut spec = QuerySpec::new(YEAR_QUERY);
+                    spec.semantics = if round % 2 == 0 {
+                        Semantics::Isomorphism
+                    } else {
+                        Semantics::Simulation
+                    };
+                    let outcome = client.query(&spec).expect("query");
+                    assert!(
+                        outcome.header.snapshot_version >= last_version,
+                        "versions went backwards"
+                    );
+                    last_version = outcome.header.snapshot_version;
+                    assert!(outcome.header.total > 0, "fixture always has matches");
+                }
+                client.goodbye().unwrap();
+            })
+        })
+        .collect();
+
+    // A writer commits through the same protocol while the readers run.
+    let mut writer = connect(&handle, "writer");
+    let mut version = 0;
+    for i in 0..6 {
+        let summary = writer
+            .update(&[Update::AddNode {
+                label: "actor".into(),
+                value: Value::Int(9_000 + i),
+            }])
+            .expect("commit");
+        assert!(summary.version > version, "commit bumps the epoch");
+        version = summary.version;
+        assert_eq!(summary.new_nodes.len(), 1);
+    }
+    writer.goodbye().unwrap();
+
+    for reader in readers {
+        reader.join().expect("reader thread");
+    }
+    assert_eq!(handle.server().version(), 6);
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn zero_capacity_gate_rejects_with_overloaded() {
+    let config = NetServerConfig {
+        max_in_flight: 0,
+        ..NetServerConfig::default()
+    };
+    let handle = start(5, config);
+    let mut client = connect(&handle, "rejected");
+
+    let err = client.query(&QuerySpec::new(YEAR_QUERY)).unwrap_err();
+    match &err {
+        bgpq_net::ClientError::Server {
+            code,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(*code, ErrorCode::Overloaded);
+            assert!(retry_after_ms.is_some(), "overloaded carries a retry hint");
+        }
+        other => panic!("expected server rejection, got {other:?}"),
+    }
+    assert!(err.is_retryable());
+
+    // The session survives a rejection: ping still answers.
+    assert_eq!(client.ping().unwrap(), 0);
+
+    // Updates pass the same gate.
+    let err = client
+        .update(&[Update::AddNode {
+            label: "actor".into(),
+            value: Value::Int(1),
+        }])
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Overloaded));
+    client.goodbye().unwrap();
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn drain_finishes_in_flight_queries_and_rejects_new_ones() {
+    let handle = start(400, NetServerConfig::default());
+    let addr = handle.local_addr();
+
+    // Continuous query traffic: each thread queries in a loop until it is
+    // turned away by the drain. Every completed query must be a *full*
+    // answer — drain may reject new work, never truncate admitted work.
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, &format!("looper-{w}")).expect("connect");
+                let mut successes = 0u64;
+                loop {
+                    let mut spec = QuerySpec::new(YEAR_QUERY);
+                    spec.strategy = Some(StrategyKind::Baseline);
+                    match client.query(&spec) {
+                        Ok(outcome) => {
+                            assert!(outcome.header.total > 0, "admitted answers are complete");
+                            assert!(!outcome.done.aborted);
+                            successes += 1;
+                        }
+                        Err(err) => {
+                            assert_eq!(
+                                err.code(),
+                                Some(ErrorCode::Draining),
+                                "the only rejection a draining server hands out"
+                            );
+                            assert!(err.is_retryable());
+                            break;
+                        }
+                    }
+                }
+                client.goodbye().unwrap();
+                successes
+            })
+        })
+        .collect();
+
+    // Wait until work is verifiably in flight, then drain underneath it.
+    let started = Instant::now();
+    while handle.in_flight() == 0 {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "queries never became in-flight"
+        );
+        std::thread::yield_now();
+    }
+    handle.drain();
+    assert!(handle.is_draining());
+
+    let successes: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker thread"))
+        .sum();
+    assert!(successes > 0, "queries admitted before the drain completed");
+
+    // New sessions are turned away too, but non-admitted requests (ping,
+    // stats, goodbye) stay available on a draining server.
+    let mut late = connect(&handle, "late");
+    let err = late.query(&QuerySpec::new(YEAR_QUERY)).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Draining));
+    late.ping().unwrap();
+    late.goodbye().unwrap();
+
+    let stats = handle.gate_stats();
+    assert_eq!(stats.admitted, successes);
+    assert!(
+        stats.rejected_draining >= 5,
+        "four loopers + the late client"
+    );
+    assert_eq!(handle.in_flight(), 0, "drain left nothing in flight");
+    assert!(handle.shutdown(), "drained server shuts down cleanly");
+}
+
+#[test]
+fn deadline_derived_abort_is_a_budget_exceeded_error() {
+    // One step per millisecond with a floor of one: a 1 ms deadline buys a
+    // single matcher step, which cannot finish any query on the fixture.
+    let config = NetServerConfig {
+        budget_policy: BudgetPolicy {
+            steps_per_milli: 1,
+            floor_steps: 1,
+        },
+        ..NetServerConfig::default()
+    };
+    let handle = start(20, config);
+    let mut client = connect(&handle, "deadline");
+
+    let mut spec = QuerySpec::new(YEAR_QUERY);
+    spec.deadline_ms = Some(1);
+    let err = client.query(&spec).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::BudgetExceeded));
+    assert!(
+        !err.is_retryable(),
+        "a longer deadline is a client decision"
+    );
+    client.goodbye().unwrap();
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn explicit_budget_abort_returns_a_truncated_answer() {
+    let handle = start(20, NetServerConfig::default());
+    let mut client = connect(&handle, "budgeted");
+
+    // The client asked for this budget explicitly, so exhaustion is a
+    // truncated answer (aborted flag set), not an error.
+    let mut spec = QuerySpec::new(YEAR_QUERY);
+    spec.step_budget = Some(1);
+    let outcome = client.query(&spec).expect("truncated answer");
+    assert!(outcome.done.aborted);
+
+    // Even with a deadline attached, the tighter explicit budget takes the
+    // blame: still an answer, not a budget_exceeded error.
+    spec.deadline_ms = Some(60_000);
+    let outcome = client.query(&spec).expect("explicit budget wins blame");
+    assert!(outcome.done.aborted);
+    client.goodbye().unwrap();
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn stats_document_counts_requests_and_clients() {
+    let handle = start(10, NetServerConfig::default());
+    let mut client = connect(&handle, "metrics");
+
+    assert_eq!(client.ping().unwrap(), 0);
+    client.query(&QuerySpec::new(YEAR_QUERY)).unwrap();
+    let stats = client.stats().expect("stats document");
+
+    let server = stats.get("server").expect("server object");
+    assert_eq!(server.get("protocol").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(server.get("queries").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(server.get("admitted").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        server.get("draining").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+    let latency = server.get("latency_us").expect("latency object");
+    assert_eq!(latency.get("count").and_then(|v| v.as_u64()), Some(1));
+    assert!(latency.get("p99").and_then(|v| v.as_u64()).unwrap() >= 1);
+
+    let clients = stats.get("clients").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(clients.len(), 1);
+    assert_eq!(
+        clients[0].get("name").and_then(|v| v.as_str()),
+        Some("metrics")
+    );
+    assert!(client.bytes_in() > 0 && client.bytes_out() > 0);
+    client.goodbye().unwrap();
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn committed_updates_are_visible_to_later_queries() {
+    let handle = start(10, NetServerConfig::default());
+    let mut client = connect(&handle, "updater");
+
+    let before = client.query(&QuerySpec::new(YEAR_QUERY)).unwrap();
+
+    // Add one movie in year 2003 with one actor: movie node + actor node,
+    // wired to the existing year-2003 node (fixture id 3).
+    let next = handle.server().snapshot().graph().node_count() as u32;
+    let summary = client
+        .update(&[
+            Update::AddNode {
+                label: "movie".into(),
+                value: Value::Int(777),
+            },
+            Update::AddNode {
+                label: "actor".into(),
+                value: Value::Int(778),
+            },
+            Update::AddEdge {
+                src: NodeId(3),
+                dst: NodeId(next),
+            },
+            Update::AddEdge {
+                src: NodeId(next),
+                dst: NodeId(next + 1),
+            },
+        ])
+        .expect("commit");
+    assert_eq!(summary.new_nodes, vec![next, next + 1]);
+
+    let after = client.query(&QuerySpec::new(YEAR_QUERY)).unwrap();
+    assert_eq!(after.header.snapshot_version, summary.version);
+    assert_eq!(after.header.total, before.header.total + 1);
+    client.goodbye().unwrap();
+    assert!(handle.shutdown());
+}

@@ -1,0 +1,311 @@
+//! Hostile-peer robustness: raw [`TcpStream`] bytes against a live server.
+//!
+//! The frame reader and session loop must survive anything a confused or
+//! malicious client can send — garbage bytes, absurd length prefixes,
+//! truncated frames, corrupted payloads, mid-stream disconnects and
+//! slow-loris dribbles — by answering with a typed protocol error or
+//! closing cleanly. Never by panicking: every test ends by running a real
+//! query through a well-behaved [`Client`], proving the server is still
+//! alive and correct after the abuse.
+
+use bgpq_engine::{AccessConstraint, AccessSchema, StrategyKind};
+use bgpq_graph::{Graph, GraphBuilder, Value};
+use bgpq_net::{
+    Client, ErrorCode, NetServer, NetServerConfig, NetServerHandle, QuerySpec, Response,
+    PROTOCOL_VERSION,
+};
+use bgpq_serve::Server;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fixture() -> (Graph, AccessSchema) {
+    let mut b = GraphBuilder::new();
+    let y = b.add_node("year", Value::Int(2003));
+    for i in 0..4 {
+        let m = b.add_node("movie", Value::Int(i));
+        b.add_edge(y, m).unwrap();
+    }
+    let g = b.build();
+    let l = |name: &str| g.interner().get(name).unwrap();
+    let schema = AccessSchema::from_constraints([
+        AccessConstraint::global(l("year"), 1),
+        AccessConstraint::unary(l("year"), l("movie"), 4),
+    ]);
+    (g, schema)
+}
+
+fn start(read_timeout: Option<Duration>) -> NetServerHandle {
+    let (graph, schema) = fixture();
+    let config = NetServerConfig {
+        read_timeout,
+        ..NetServerConfig::default()
+    };
+    NetServer::start(Arc::new(Server::new(graph, &schema)), config).expect("bind")
+}
+
+// ---- raw wire helpers (independent of the crate's frame module) --------
+
+fn send_frame(stream: &mut TcpStream, payload: &str) {
+    let bytes = payload.as_bytes();
+    stream
+        .write_all(&(bytes.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.flush().unwrap();
+}
+
+/// Reads one response frame; `None` means the server closed the stream.
+fn recv_frame(stream: &mut TcpStream) -> Option<Response> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match stream.read(&mut prefix[got..]) {
+            Ok(0) => return None,
+            Ok(n) => got += n,
+            Err(_) => return None,
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).ok()?;
+    let text = String::from_utf8(body).expect("server frames are valid UTF-8");
+    Some(Response::decode(&text).expect("server frames decode"))
+}
+
+/// The stream should be closed: the next read yields EOF (or a reset, which
+/// is equally "closed" from the peer's perspective).
+fn assert_closed(stream: &mut TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut buf = [0u8; 1];
+    match stream.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("expected close, got {n} more bytes"),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::ConnectionReset
+                || e.kind() == std::io::ErrorKind::ConnectionAborted => {}
+        Err(e) => panic!("expected close, got {e}"),
+    }
+}
+
+fn connect_raw(handle: &NetServerHandle) -> TcpStream {
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream
+}
+
+fn hello(stream: &mut TcpStream) {
+    send_frame(
+        stream,
+        &format!("{{\"type\":\"hello\",\"protocol\":{PROTOCOL_VERSION},\"client\":\"raw\"}}"),
+    );
+    match recv_frame(stream) {
+        Some(Response::HelloAck { .. }) => {}
+        other => panic!("expected hello ack, got {other:?}"),
+    }
+}
+
+fn expect_error(stream: &mut TcpStream, code: ErrorCode) {
+    match recv_frame(stream) {
+        Some(Response::Error { code: got, .. }) => assert_eq!(got, code),
+        other => panic!("expected {code} error, got {other:?}"),
+    }
+}
+
+/// The liveness probe every test ends with: a fresh well-behaved client
+/// still gets a correct answer.
+fn assert_server_alive(handle: &NetServerHandle) {
+    let mut client = Client::connect(handle.local_addr(), "prober").expect("connect");
+    let outcome = client
+        .query(&QuerySpec::new(
+            "node y: year\nnode m: movie\nedge y -> m\n",
+        ))
+        .expect("probe query");
+    assert_eq!(outcome.header.total, 4);
+    client.goodbye().unwrap();
+}
+
+// ---- the abuse ---------------------------------------------------------
+
+#[test]
+fn garbage_preamble_is_rejected_without_panic() {
+    let handle = start(None);
+    // An HTTP request: the first four bytes ("GET ") decode as a ~1.2 GB
+    // length prefix, which must be rejected before any allocation.
+    let mut stream = connect_raw(&handle);
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    expect_error(&mut stream, ErrorCode::TooLarge);
+    assert_closed(&mut stream);
+    assert_server_alive(&handle);
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let handle = start(None);
+    let mut stream = connect_raw(&handle);
+    stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    expect_error(&mut stream, ErrorCode::TooLarge);
+    assert_closed(&mut stream);
+    assert_server_alive(&handle);
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn truncated_frame_then_disconnect_closes_cleanly() {
+    let handle = start(None);
+    let mut stream = connect_raw(&handle);
+    // Claim 100 bytes, deliver 10, vanish.
+    stream.write_all(&100u32.to_be_bytes()).unwrap();
+    stream.write_all(b"0123456789").unwrap();
+    drop(stream);
+    assert_server_alive(&handle);
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn corrupted_payload_bytes_yield_protocol_error() {
+    let handle = start(None);
+    let mut stream = connect_raw(&handle);
+    hello(&mut stream);
+    // A valid query frame with one byte flipped into an invalid UTF-8
+    // continuation: framing survives, decoding fails, session closes.
+    let mut payload = b"{\"type\":\"query\",\"pattern\":\"node y: year\"}".to_vec();
+    payload[20] = 0xFF;
+    stream
+        .write_all(&(payload.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(&payload).unwrap();
+    expect_error(&mut stream, ErrorCode::Protocol);
+    assert_closed(&mut stream);
+    assert_server_alive(&handle);
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn undecodable_json_after_handshake_keeps_the_session() {
+    let handle = start(None);
+    let mut stream = connect_raw(&handle);
+    hello(&mut stream);
+    // Valid UTF-8, invalid request: a typed parse error, and the session
+    // keeps going — the next (valid) ping is answered.
+    send_frame(&mut stream, "this is not json");
+    expect_error(&mut stream, ErrorCode::Parse);
+    send_frame(&mut stream, "{\"type\":\"transmogrify\"}");
+    expect_error(&mut stream, ErrorCode::Parse);
+    send_frame(&mut stream, "{\"type\":\"ping\"}");
+    match recv_frame(&mut stream) {
+        Some(Response::Pong { .. }) => {}
+        other => panic!("expected pong, got {other:?}"),
+    }
+    drop(stream);
+    assert_server_alive(&handle);
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn handshake_violations_close_with_protocol_error() {
+    let handle = start(None);
+
+    // Wrong protocol version.
+    let mut stream = connect_raw(&handle);
+    send_frame(
+        &mut stream,
+        "{\"type\":\"hello\",\"protocol\":999,\"client\":\"fut\"}",
+    );
+    expect_error(&mut stream, ErrorCode::Protocol);
+    assert_closed(&mut stream);
+
+    // A request before any hello.
+    let mut stream = connect_raw(&handle);
+    send_frame(&mut stream, "{\"type\":\"ping\"}");
+    expect_error(&mut stream, ErrorCode::Protocol);
+    assert_closed(&mut stream);
+
+    // A second hello mid-session.
+    let mut stream = connect_raw(&handle);
+    hello(&mut stream);
+    send_frame(
+        &mut stream,
+        &format!("{{\"type\":\"hello\",\"protocol\":{PROTOCOL_VERSION},\"client\":\"again\"}}"),
+    );
+    expect_error(&mut stream, ErrorCode::Protocol);
+    assert_closed(&mut stream);
+
+    assert_server_alive(&handle);
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn slow_loris_writer_is_disconnected_by_the_read_timeout() {
+    let handle = start(Some(Duration::from_millis(100)));
+    let mut stream = connect_raw(&handle);
+    hello(&mut stream);
+    // Dribble the first byte of a length prefix, then stall well past the
+    // read timeout: the server hangs up (quietly or with a protocol error)
+    // instead of holding the session forever. Any read outcome other than
+    // payload bytes arriving indefinitely — EOF, an error frame followed by
+    // EOF, or a reset — proves the disconnect.
+    stream.write_all(&[0u8]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    let mut rest = Vec::new();
+    let _ = stream.read_to_end(&mut rest);
+    assert_server_alive(&handle);
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn semantic_rejections_keep_the_session_open() {
+    let handle = start(None);
+    let mut client = Client::connect(handle.local_addr(), "semantic").expect("connect");
+
+    // A pattern that fails to parse.
+    let err = client
+        .query(&QuerySpec::new("node ???\nthis is no pattern"))
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::BadPattern));
+
+    // A pattern the schema cannot bound, with the bounded tier forced: the
+    // paper's "not effectively bounded" refusal arrives as a typed error.
+    let mut spec = QuerySpec::new("node m: movie\n");
+    spec.strategy = Some(StrategyKind::Bounded);
+    let err = client.query(&spec).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Unbounded));
+    assert!(!err.is_retryable());
+
+    // Same session still answers good queries.
+    let outcome = client
+        .query(&QuerySpec::new(
+            "node y: year\nnode m: movie\nedge y -> m\n",
+        ))
+        .expect("recovery query");
+    assert_eq!(outcome.header.total, 4);
+    client.goodbye().unwrap();
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn empty_and_tiny_frames_are_survivable() {
+    let handle = start(None);
+    let mut stream = connect_raw(&handle);
+    // A zero-length frame is valid framing but an empty payload: the
+    // handshake decoder rejects it and closes.
+    stream.write_all(&0u32.to_be_bytes()).unwrap();
+    match recv_frame(&mut stream) {
+        Some(Response::Error { .. }) | None => {}
+        other => panic!("expected error or close, got {other:?}"),
+    }
+    drop(stream);
+
+    // Disconnecting with nothing sent at all is a quiet no-op.
+    drop(connect_raw(&handle));
+
+    assert_server_alive(&handle);
+    assert!(handle.shutdown());
+}

@@ -33,6 +33,10 @@
 //!   maintenance instead of a rebuild) and publishes it with a pointer swap.
 //! * [`WorkerPool`] — a minimal thread pool executing
 //!   [`QueryRequest`](bgpq_engine::QueryRequest)s against pinned snapshots.
+//! * [`AdmissionGate`] — a bounded in-flight gate with queue-depth
+//!   backpressure and graceful draining; the hook `bgpq-net` puts in front
+//!   of its TCP sessions so overload turns into fast typed rejections
+//!   instead of unbounded buffering.
 //!
 //! Plan-cache correctness across versions is handled one layer down: the
 //! server hands every snapshot's engine the same
@@ -42,10 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod pool;
 pub mod server;
 pub mod snapshot;
 
+pub use gate::{Admission, AdmissionGate, AdmissionPermit, GateStats};
 pub use pool::WorkerPool;
 pub use server::{CommitReceipt, Server, ServerStats, Update};
 pub use snapshot::Snapshot;

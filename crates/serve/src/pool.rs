@@ -10,6 +10,7 @@
 //! receive.
 
 use crate::server::Server;
+use crate::snapshot::Snapshot;
 use bgpq_engine::{BgpqError, QueryRequest, QueryResponse};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -19,6 +20,9 @@ use std::thread;
 pub type PoolResult = Result<QueryResponse, BgpqError>;
 
 struct Job {
+    /// Pre-pinned snapshot to execute on; `None` pins the current one at
+    /// pickup time.
+    snapshot: Option<Arc<Snapshot>>,
     request: QueryRequest,
     reply: mpsc::Sender<PoolResult>,
 }
@@ -83,7 +87,7 @@ impl WorkerPool {
                         let Ok(job) = job else {
                             break; // all senders dropped: shutdown
                         };
-                        let snapshot = server.snapshot();
+                        let snapshot = job.snapshot.unwrap_or_else(|| server.snapshot());
                         let result = snapshot.execute(&job.request);
                         served += 1;
                         // The caller may have dropped its reply receiver.
@@ -103,11 +107,37 @@ impl WorkerPool {
     /// request is executed against the snapshot that is current when a
     /// worker picks it up.
     pub fn submit(&self, request: QueryRequest) -> mpsc::Receiver<PoolResult> {
+        self.enqueue(None, request)
+    }
+
+    /// Enqueues one request to run against an explicitly pinned snapshot
+    /// instead of whichever is current at pickup. This is the hook the
+    /// network front end uses: the session pins a snapshot once, the pool
+    /// executes on it, and the session can then render labels and values
+    /// from the *same* version the answer was computed on — immune to
+    /// commits landing in between.
+    pub fn submit_pinned(
+        &self,
+        snapshot: Arc<Snapshot>,
+        request: QueryRequest,
+    ) -> mpsc::Receiver<PoolResult> {
+        self.enqueue(Some(snapshot), request)
+    }
+
+    fn enqueue(
+        &self,
+        snapshot: Option<Arc<Snapshot>>,
+        request: QueryRequest,
+    ) -> mpsc::Receiver<PoolResult> {
         let (reply, result) = mpsc::channel();
         self.jobs
             .as_ref()
             .expect("pool is shutting down")
-            .send(Job { request, reply })
+            .send(Job {
+                snapshot,
+                request,
+                reply,
+            })
             .expect("workers outlive the job sender");
         result
     }

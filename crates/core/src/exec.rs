@@ -24,7 +24,7 @@
 //! exactly: `bVF2(Q, G_Q) = VF2(Q, G)` and `bSim(Q, G_Q) = gsim(Q, G)`,
 //! while `|G_Q|` is bounded by `Q` and `A` alone.
 
-use crate::fetch::{fetch_candidates, FetchStats};
+use crate::fetch::{fetch_candidates, CandidateSet, FetchStats};
 use crate::plan::{plan_query_filtered, PlanError, QueryPlan, Semantics};
 use bgpq_access::AccessIndexSet;
 use bgpq_graph::{FragmentView, Graph, GraphAccess, ScratchArena};
@@ -113,17 +113,39 @@ pub fn bounded_subgraph_match_planned(
         Semantics::Isomorphism,
         "bVF2 requires an isomorphism plan"
     );
-    let build_started = Instant::now();
     let fetched = fetch_candidates(plan, pattern, graph, indices);
+    bounded_subgraph_match_prefetched(pattern, graph, &fetched, config, scratch)
+}
+
+/// `bVF2` from an already-fetched [`CandidateSet`]: builds the zero-copy
+/// fragment view from [`CandidateSet::all_nodes`] and matches on it, issuing
+/// **no** index lookups. This is the fragment-cache hit path of session
+/// layers — the candidate set must have been fetched for this `pattern`
+/// against this `graph` (same snapshot), or the answer is undefined.
+///
+/// The returned [`FetchStats`] are the candidate set's own counters with the
+/// fragment fields filled in and the view-construction time *added* to
+/// [`FetchStats::fragment_build_nanos`]; callers reusing a cached set can
+/// subtract the cached baseline to isolate this call's cost.
+pub fn bounded_subgraph_match_prefetched(
+    pattern: &Pattern,
+    graph: &Graph,
+    fetched: &CandidateSet,
+    config: Vf2Config,
+    scratch: &mut ScratchArena,
+) -> (MatchSet, FetchStats, Vf2Stats) {
+    let build_started = Instant::now();
     let view = FragmentView::induced(graph, &fetched.all_nodes, scratch);
-    let mut fetch = fetched.stats;
+    let mut fetch = fetched.stats.clone();
     fetch.fragment_nodes = view.node_count();
     fetch.fragment_edges = view.edge_count();
-    fetch.fragment_build_nanos = build_started.elapsed().as_nanos() as u64;
+    fetch.fragment_build_nanos = fetch
+        .fragment_build_nanos
+        .saturating_add(build_started.elapsed().as_nanos() as u64);
     // Candidates are parent ids and the view speaks parent ids: the matches
     // come out over `G` directly.
     let (matches, stats) = SubgraphMatcher::new(pattern, &view)
-        .with_candidates(fetched.candidates)
+        .with_candidates(fetched.candidates.clone())
         .with_config(config)
         .run();
     (matches, fetch, stats)
@@ -170,15 +192,29 @@ pub fn bounded_simulation_match_planned(
         Semantics::Simulation,
         "bSim requires a simulation plan"
     );
-    let build_started = Instant::now();
     let fetched = fetch_candidates(plan, pattern, graph, indices);
+    bounded_simulation_match_prefetched(pattern, graph, &fetched, scratch)
+}
+
+/// `bSim` from an already-fetched [`CandidateSet`], the simulation
+/// counterpart of [`bounded_subgraph_match_prefetched`] — the same
+/// pattern/snapshot contract and [`FetchStats`] conventions apply.
+pub fn bounded_simulation_match_prefetched(
+    pattern: &Pattern,
+    graph: &Graph,
+    fetched: &CandidateSet,
+    scratch: &mut ScratchArena,
+) -> (SimulationRelation, FetchStats) {
+    let build_started = Instant::now();
     let view = FragmentView::induced(graph, &fetched.all_nodes, scratch);
-    let mut fetch = fetched.stats;
+    let mut fetch = fetched.stats.clone();
     fetch.fragment_nodes = view.node_count();
     fetch.fragment_edges = view.edge_count();
-    fetch.fragment_build_nanos = build_started.elapsed().as_nanos() as u64;
+    fetch.fragment_build_nanos = fetch
+        .fragment_build_nanos
+        .saturating_add(build_started.elapsed().as_nanos() as u64);
     let relation = SimulationMatcher::new(pattern, &view)
-        .with_candidates(fetched.candidates)
+        .with_candidates(fetched.candidates.clone())
         .run();
     (relation, fetch)
 }

@@ -16,16 +16,25 @@
 //!
 //! Two entry points share the lookup loop: [`execute_plan`] materializes the
 //! fragment as an explicit [`Subgraph`] (inspection, tests, offline tools),
-//! while the crate-internal `fetch_candidates` returns only the candidate
-//! sets and their sorted union — the bounded executors of [`crate::exec`]
-//! build a zero-copy [`FragmentView`](bgpq_graph::FragmentView) from that
-//! union instead of ever allocating a `Subgraph` on the hot path.
+//! while [`fetch_candidate_sets`] returns only a [`CandidateSet`] — the
+//! candidate sets and their sorted union — from which the bounded executors
+//! of [`crate::exec`] build a zero-copy
+//! [`FragmentView`](bgpq_graph::FragmentView) instead of ever allocating a
+//! `Subgraph` on the hot path.
+//!
+//! All lookups go through a [`LookupMemo`]: the key set of a step is
+//! deduplicated before touching the index (via-combinations can repeat a
+//! canonical key, and two same-labeled pattern nodes fetched through the
+//! same constraint repeat whole key sets), and a memo shared across the
+//! queries of a batch lets one lookup pass feed many fetches.
 
 use crate::plan::QueryPlan;
-use bgpq_access::AccessIndexSet;
+use bgpq_access::{AccessIndexSet, ConstraintId, ConstraintIndex};
 use bgpq_graph::{Graph, NodeId, Subgraph};
 use bgpq_matching::seed::for_each_combination;
 use bgpq_pattern::Pattern;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Counters describing one plan execution.
@@ -35,8 +44,16 @@ use std::time::Instant;
 /// fetches are never byte-equal. Compare the individual counters instead.
 #[derive(Debug, Clone, Default)]
 pub struct FetchStats {
-    /// Number of index lookups issued.
+    /// Number of **distinct** index lookups issued. A step's key set is
+    /// deduplicated before touching the index, and a batch-shared
+    /// [`LookupMemo`] answers repeated keys from memory, so this counts
+    /// lookups that actually reached a [`bgpq_access::ConstraintIndex`] —
+    /// repeats land in [`FetchStats::lookups_deduped`] instead.
     pub index_lookups: u64,
+    /// Lookup keys answered from the [`LookupMemo`] instead of the index:
+    /// repeated canonical keys within a step, across the steps of one plan,
+    /// or across the queries of a batch sharing the memo.
+    pub lookups_deduped: u64,
     /// Total nodes returned by lookups, before deduplication/filtering.
     pub nodes_returned: u64,
     /// Distinct fetched nodes dropped because the pattern node's predicate
@@ -75,21 +92,90 @@ pub struct FetchResult {
 
 /// The lean fetch outcome the bounded executors consume: candidate sets and
 /// their sorted union, with no fragment container allocated.
+///
+/// This is the unit session layers cache: together with the pattern it was
+/// fetched for, a `CandidateSet` fully determines the bounded fragment `G_Q`
+/// (the subgraph induced by [`CandidateSet::all_nodes`]), so reusing one
+/// skips every index lookup of a repeated query.
 #[derive(Debug, Clone)]
-pub(crate) struct FetchedCandidates {
-    /// Sorted, deduplicated candidate set per pattern node.
+pub struct CandidateSet {
+    /// Sorted, deduplicated candidate set per pattern node (indexed by
+    /// pattern node id).
     pub candidates: Vec<Vec<NodeId>>,
     /// Sorted, deduplicated union of all candidate sets — the node set of
     /// the fragment `G_Q` those candidates induce.
     pub all_nodes: Vec<NodeId>,
-    /// Counters; `fragment_nodes`/`fragment_edges`/`fragment_build_nanos`
-    /// are left for the caller to fill once the fragment representation
-    /// (view or subgraph) exists.
+    /// Counters of the fetch that produced this set.
+    /// `fragment_nodes`/`fragment_edges` are left for the caller to fill
+    /// once the fragment representation (view or subgraph) exists;
+    /// `fragment_build_nanos` holds the lookup-side time, to which the
+    /// executors add their view-construction time.
     pub stats: FetchStats,
 }
 
-/// Runs the index-lookup loop of `plan`, producing per-node candidates and
-/// their union. Shared by [`execute_plan`] and the bounded executors.
+/// A memo of index lookups, deduplicating repeated keys.
+///
+/// Every fetch routes its lookups through one of these: repeated canonical
+/// keys — within a step, across the steps of a plan, or across the queries
+/// of a batch when the caller shares the memo — are answered from memory and
+/// counted as [`FetchStats::lookups_deduped`] instead of re-reaching the
+/// index.
+///
+/// A memo is only valid against one [`AccessIndexSet`]: entries carry no
+/// version, so sharing a memo across snapshots would serve stale answers.
+/// Batch layers must scope a memo to the queries of a single snapshot.
+#[derive(Debug, Default)]
+pub struct LookupMemo {
+    map: HashMap<(ConstraintId, Vec<NodeId>), Vec<NodeId>>,
+}
+
+impl LookupMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        LookupMemo::default()
+    }
+
+    /// Number of distinct `(constraint, key)` lookups memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no lookup has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The common neighbors of `key` under `constraint`, from the memo when
+    /// the canonical key was already looked up, from `index` otherwise. The
+    /// key is canonicalized (sorted, deduplicated) exactly as
+    /// [`ConstraintIndex::common_neighbors`] does, so permuted via-tuples
+    /// share one entry.
+    fn lookup(
+        &mut self,
+        index: &ConstraintIndex,
+        constraint: ConstraintId,
+        key: &[NodeId],
+        stats: &mut FetchStats,
+    ) -> &[NodeId] {
+        let mut canonical = key.to_vec();
+        canonical.sort_unstable();
+        canonical.dedup();
+        match self.map.entry((constraint, canonical)) {
+            Entry::Occupied(slot) => {
+                stats.lookups_deduped += 1;
+                slot.into_mut()
+            }
+            Entry::Vacant(slot) => {
+                stats.index_lookups += 1;
+                slot.insert(index.common_neighbors(key).to_vec())
+            }
+        }
+    }
+}
+
+/// Runs the index-lookup loop of `plan` with a private [`LookupMemo`],
+/// producing per-node candidates and their union. Shared by
+/// [`execute_plan`] and the bounded executors.
 ///
 /// # Panics
 /// Panics if `plan` references constraints absent from `indices` (i.e. the
@@ -99,7 +185,32 @@ pub(crate) fn fetch_candidates(
     pattern: &Pattern,
     graph: &Graph,
     indices: &AccessIndexSet,
-) -> FetchedCandidates {
+) -> CandidateSet {
+    let mut memo = LookupMemo::new();
+    fetch_candidate_sets(plan, pattern, graph, indices, &mut memo)
+}
+
+/// Runs the index-lookup loop of `plan`, producing per-node candidates and
+/// their union, with all lookups routed through `memo`.
+///
+/// Batch layers pass one memo for a group of queries executed against the
+/// same snapshot, so overlapping lookups — the common case for templated
+/// queries over a hot subgraph — are issued once and shared; single-query
+/// callers pass a fresh memo, which still deduplicates repeated keys within
+/// the plan itself. The memo must not outlive the `indices` it was first
+/// used with (see [`LookupMemo`]).
+///
+/// # Panics
+/// Panics if `plan` references constraints absent from `indices` (i.e. the
+/// plan was built against a different schema).
+pub fn fetch_candidate_sets(
+    plan: &QueryPlan,
+    pattern: &Pattern,
+    graph: &Graph,
+    indices: &AccessIndexSet,
+    memo: &mut LookupMemo,
+) -> CandidateSet {
+    let started = Instant::now();
     let n = pattern.node_count();
     let mut candidates: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut stats = FetchStats::default();
@@ -110,12 +221,10 @@ pub(crate) fn fetch_candidates(
             .expect("plan constraint must exist in the index set");
         let mut fetched: Vec<NodeId> = Vec::new();
         if step.via.is_empty() {
-            stats.index_lookups += 1;
-            fetched.extend_from_slice(index.common_neighbors(&[]));
+            fetched.extend_from_slice(memo.lookup(index, step.constraint, &[], &mut stats));
         } else {
             for_each_combination(&step.via, &candidates, &mut |key| {
-                stats.index_lookups += 1;
-                fetched.extend_from_slice(index.common_neighbors(key));
+                fetched.extend_from_slice(memo.lookup(index, step.constraint, key, &mut stats));
             });
         }
         stats.nodes_returned += fetched.len() as u64;
@@ -133,8 +242,9 @@ pub(crate) fn fetch_candidates(
         v.dedup();
         v
     };
+    stats.fragment_build_nanos = started.elapsed().as_nanos() as u64;
 
-    FetchedCandidates {
+    CandidateSet {
         candidates,
         all_nodes,
         stats,
@@ -265,9 +375,69 @@ mod tests {
         let q = movie_pattern(&g);
         let plan = plan_query(&q, &schema, Semantics::Isomorphism).unwrap();
         let fetched = execute_plan(&plan, &q, &g, &indices);
-        // 1 (year global) + 1 (award global) + 1·1 (pair keys after the
-        // year predicate cut candidates to one) + 2 (one per movie) = 5.
+        // `index_lookups` counts *distinct* lookups issued. Here every
+        // combination keys a distinct lookup, so the count is the product
+        // of key-candidate set sizes: 1 (year global) + 1 (award global) +
+        // 1·1 (pair keys after the year predicate cut candidates to one) +
+        // 2 (one per movie) = 5, with nothing deduplicated.
         assert_eq!(fetched.stats.index_lookups, 5);
+        assert_eq!(fetched.stats.lookups_deduped, 0);
+    }
+
+    /// Two same-labeled pattern nodes fetched through the same constraint
+    /// repeat each other's key set; the repeats must be answered from the
+    /// memo, not re-issued against the index.
+    #[test]
+    fn repeated_via_keys_are_looked_up_once() {
+        let (g, schema) = setup();
+        let indices = AccessIndexSet::build(&g, &schema);
+        let mut pb = PatternBuilder::with_interner(g.interner().clone());
+        let m = pb.node("movie", Predicate::always());
+        let y = pb.node("year", Predicate::single(bgpq_pattern::Op::Eq, 2011));
+        let a = pb.node("award", Predicate::always());
+        let act1 = pb.node("actor", Predicate::always());
+        let act2 = pb.node("actor", Predicate::always());
+        pb.edge(y, m);
+        pb.edge(a, m);
+        pb.edge(m, act1);
+        pb.edge(m, act2);
+        let q = pb.build();
+        let plan = plan_query(&q, &schema, Semantics::Isomorphism).unwrap();
+        let fetched = execute_plan(&plan, &q, &g, &indices);
+        // year + award + 1 pair key + 2 movie→actor keys for the first
+        // actor node = 5 distinct lookups; the second actor node repeats
+        // the same 2 movie keys and is served from the memo.
+        assert_eq!(fetched.stats.index_lookups, 5);
+        assert_eq!(fetched.stats.lookups_deduped, 2);
+        // Dedup never changes the answer: both actor nodes see all actors
+        // of the 2011 movies.
+        assert_eq!(fetched.candidates[3], fetched.candidates[4]);
+        assert_eq!(fetched.candidates[3].len(), 4);
+    }
+
+    /// A memo shared across fetches (the batch path) answers the second
+    /// query's overlapping lookups from memory, with identical results.
+    #[test]
+    fn shared_memo_feeds_overlapping_fetches() {
+        let (g, schema) = setup();
+        let indices = AccessIndexSet::build(&g, &schema);
+        let q = movie_pattern(&g);
+        let plan = plan_query(&q, &schema, Semantics::Isomorphism).unwrap();
+
+        let solo = fetch_candidates(&plan, &q, &g, &indices);
+        let mut memo = LookupMemo::new();
+        let first = fetch_candidate_sets(&plan, &q, &g, &indices, &mut memo);
+        let second = fetch_candidate_sets(&plan, &q, &g, &indices, &mut memo);
+
+        assert_eq!(first.candidates, solo.candidates);
+        assert_eq!(second.candidates, solo.candidates);
+        assert_eq!(second.all_nodes, solo.all_nodes);
+        assert_eq!(first.stats.index_lookups, 5);
+        assert_eq!(memo.len(), 5);
+        // The second pass issues nothing: every key is memoized.
+        assert_eq!(second.stats.index_lookups, 0);
+        assert_eq!(second.stats.lookups_deduped, 5);
+        assert!(!memo.is_empty());
     }
 
     #[test]

@@ -36,8 +36,11 @@ pub mod fetch;
 pub mod plan;
 
 pub use exec::{
-    bounded_simulation_match, bounded_simulation_match_planned, bounded_subgraph_match,
-    bounded_subgraph_match_planned, plan_for_indices, BoundedRun,
+    bounded_simulation_match, bounded_simulation_match_planned,
+    bounded_simulation_match_prefetched, bounded_subgraph_match, bounded_subgraph_match_planned,
+    bounded_subgraph_match_prefetched, plan_for_indices, BoundedRun,
 };
-pub use fetch::{execute_plan, FetchResult, FetchStats};
+pub use fetch::{
+    execute_plan, fetch_candidate_sets, CandidateSet, FetchResult, FetchStats, LookupMemo,
+};
 pub use plan::{plan_query, plan_query_filtered, FetchStep, PlanError, QueryPlan, Semantics};

@@ -13,8 +13,8 @@
 
 use bgpq_engine::{
     discover_schema, load_snapshot, opt_subgraph_match, save_snapshot, AccessConstraint,
-    AccessIndexSet, AccessSchema, DiscoveryConfig, Engine, Graph, GraphBuilder, QueryRequest,
-    StrategyKind, SubgraphMatcher,
+    AccessIndexSet, AccessSchema, CacheOutcome, DiscoveryConfig, Engine, Graph, GraphBuilder,
+    QueryRequest, StrategyKind, SubgraphMatcher,
 };
 use bgpq_graph::io::{load_graph, load_graph_snapshot, load_jsonl, save_graph_snapshot};
 use bgpq_graph::Value;
@@ -38,6 +38,9 @@ struct BenchConfig {
     /// Exit non-zero when any checked-in dataset's binary-over-text load
     /// speedup falls below this.
     min_load_speedup: Option<f64>,
+    /// Exit non-zero when the fragment-cache hit speedup (uncached bVF2
+    /// latency over cache-hit latency on the hot query) falls below this.
+    min_fragment_hit_speedup: Option<f64>,
 }
 
 impl BenchConfig {
@@ -53,6 +56,7 @@ impl BenchConfig {
                 out: "BENCH_engine.json".to_string(),
                 min_speedup: None,
                 min_load_speedup: None,
+                min_fragment_hit_speedup: None,
             }
         } else {
             BenchConfig {
@@ -62,6 +66,7 @@ impl BenchConfig {
                 out: "BENCH_engine.json".to_string(),
                 min_speedup: None,
                 min_load_speedup: None,
+                min_fragment_hit_speedup: None,
             }
         };
         let mut it = args.iter();
@@ -85,6 +90,11 @@ impl BenchConfig {
                 "--min-load-speedup" => {
                     let raw = value_for("--min-load-speedup")?;
                     config.min_load_speedup =
+                        Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
+                }
+                "--min-fragment-hit-speedup" => {
+                    let raw = value_for("--min-fragment-hit-speedup")?;
+                    config.min_fragment_hit_speedup =
                         Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
                 }
                 other => return Err(format!("unknown argument {other:?}")),
@@ -143,6 +153,157 @@ fn build_schema(graph: &Graph, movies: usize) -> AccessSchema {
         AccessConstraint::unary(l("movie"), l("actor"), 3),
         AccessConstraint::unary(l("actor"), l("country"), 1),
     ])
+}
+
+/// The repeated hot query for the fragment-cache comparison: broad
+/// `always()` predicates on the pair-key side (every year × award, so the
+/// fetch issues the full lookup fan-out) with one selective leaf predicate
+/// (so matching on the fetched fragment is cheap). Fetch-dominated by
+/// construction — the case the fragment cache exists for.
+fn build_hot_query(graph: &Graph) -> Pattern {
+    let mut pb = PatternBuilder::with_interner(graph.interner().clone());
+    let m = pb.node("movie", Predicate::always());
+    let y = pb.node("year", Predicate::always());
+    let a = pb.node("award", Predicate::always());
+    let act = pb.node("actor", Predicate::single(bgpq_pattern::Op::Eq, 5));
+    pb.edge(y, m);
+    pb.edge(a, m);
+    pb.edge(m, act);
+    pb.build()
+}
+
+/// What the fragment-cache comparison measured on the hot query.
+struct FragmentCacheBench {
+    uncached: Timing,
+    hit: Timing,
+    fragment_nodes: u64,
+    lookups_per_miss: u64,
+}
+
+impl FragmentCacheBench {
+    fn hit_speedup(&self) -> f64 {
+        self.uncached.avg_micros() / self.hit.avg_micros().max(0.001)
+    }
+}
+
+/// Times the hot query through a fragment-cache-disabled engine (every run
+/// re-fetches) against cache hits on a warmed engine. Answers are asserted
+/// identical; only the fetch work differs.
+fn bench_fragment_cache(engine: &Engine, reps: usize) -> FragmentCacheBench {
+    let hot = build_hot_query(engine.graph());
+    let request = QueryRequest::build(hot)
+        .strategy(StrategyKind::Bounded)
+        .finish();
+    let uncached_engine = Engine::with_indices(engine.graph().clone(), engine.indices().clone())
+        .with_fragment_cache_capacity(0);
+
+    // Warm both plan caches (and `engine`'s fragment cache) untimed so the
+    // timed loops compare pure fetch-vs-hit work.
+    let warm = uncached_engine
+        .execute(&request)
+        .expect("hot query bounded");
+    let first = engine.execute(&request).expect("hot query bounded");
+    assert_eq!(first.answer, warm.answer, "cached diverged from uncached");
+    let lookups_per_miss = first.stats.fetch.as_ref().map_or(0, |f| f.index_lookups);
+    let fragment_nodes = first
+        .stats
+        .fetch
+        .as_ref()
+        .map_or(0, |f| f.fragment_nodes as u64);
+
+    let mut uncached = Timing::default();
+    let mut hit = Timing::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        let response = uncached_engine.execute(&request).expect("bounded");
+        uncached.record(t.elapsed().as_nanos(), response.answer.len());
+        assert_eq!(response.stats.fragment_cache, Some(CacheOutcome::Bypass));
+
+        let t = Instant::now();
+        let response = engine.execute(&request).expect("bounded");
+        hit.record(t.elapsed().as_nanos(), response.answer.len());
+        assert_eq!(response.stats.fragment_cache, Some(CacheOutcome::Hit));
+        assert_eq!(response.answer, warm.answer, "hit diverged from uncached");
+    }
+    FragmentCacheBench {
+        uncached,
+        hit,
+        fragment_nodes,
+        lookups_per_miss,
+    }
+}
+
+/// What the batched-execution comparison measured.
+struct BatchBench {
+    sequential: Timing,
+    batched: Timing,
+    lookups_sequential: u64,
+    lookups_batched: u64,
+    lookups_deduped: u64,
+}
+
+/// Times the workload executed one query at a time against the same
+/// workload submitted through [`Engine::execute_batch`] (one shared lookup
+/// memo). The fragment cache is disabled on the measured engine so the
+/// delta is purely the batch-level lookup sharing.
+fn bench_batch(engine: &Engine, queries: &[Pattern], reps: usize) -> BatchBench {
+    let memo_engine = Engine::with_indices(engine.graph().clone(), engine.indices().clone())
+        .with_fragment_cache_capacity(0);
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| {
+            QueryRequest::build(q.clone())
+                .strategy(StrategyKind::Bounded)
+                .finish()
+        })
+        .collect();
+    // Untimed warm pass: plan-cache population must not skew either side.
+    for request in &requests {
+        memo_engine.execute(request).expect("bounded");
+    }
+
+    let mut sequential = Timing::default();
+    let mut batched = Timing::default();
+    let mut lookups_sequential = 0u64;
+    let mut lookups_batched = 0u64;
+    let mut lookups_deduped = 0u64;
+    for rep in 0..reps {
+        let t = Instant::now();
+        let mut answers = 0usize;
+        for request in &requests {
+            let response = memo_engine.execute(request).expect("bounded");
+            answers += response.answer.len();
+            if rep == 0 {
+                lookups_sequential += response.stats.fetch.as_ref().map_or(0, |f| f.index_lookups);
+            }
+        }
+        sequential.record(t.elapsed().as_nanos(), answers);
+
+        let t = Instant::now();
+        let results = memo_engine.execute_batch(&requests);
+        let nanos = t.elapsed().as_nanos();
+        let mut answers = 0usize;
+        for (result, request) in results.iter().zip(&requests) {
+            let response = result.as_ref().expect("bounded");
+            answers += response.answer.len();
+            if rep == 0 {
+                let fetch = response.stats.fetch.as_ref();
+                lookups_batched += fetch.map_or(0, |f| f.index_lookups);
+                lookups_deduped += fetch.map_or(0, |f| f.lookups_deduped);
+                // Correctness spot-check, outside the timed region.
+                let alone = memo_engine.execute(request).expect("bounded");
+                assert_eq!(response.answer, alone.answer, "batch diverged");
+            }
+        }
+        batched.record(nanos, answers);
+    }
+    BatchBench {
+        sequential,
+        batched,
+        lookups_sequential,
+        lookups_batched,
+        lookups_deduped,
+    }
 }
 
 /// The query family: award-winning movies of a given year, with their
@@ -286,7 +447,8 @@ fn main() {
             eprintln!("bench: {e}");
             eprintln!(
                 "usage: bench [--smoke] [--movies N] [--queries K] [--rounds R] \
-                 [--out PATH] [--min-speedup X] [--min-load-speedup X]"
+                 [--out PATH] [--min-speedup X] [--min-load-speedup X] \
+                 [--min-fragment-hit-speedup X]"
             );
             std::process::exit(2);
         }
@@ -354,6 +516,28 @@ fn main() {
         );
     }
 
+    let reps = (config.rounds * config.queries).max(10);
+    let fragment = bench_fragment_cache(&engine, reps);
+    println!(
+        "fragment cache: uncached {:.1} us vs hit {:.1} us ({:.2}x) on the hot query \
+         ({} lookups per miss, |G_Q| = {} nodes)",
+        fragment.uncached.avg_micros(),
+        fragment.hit.avg_micros(),
+        fragment.hit_speedup(),
+        fragment.lookups_per_miss,
+        fragment.fragment_nodes
+    );
+    let batch = bench_batch(&engine, &queries, config.rounds.max(3));
+    println!(
+        "batch: sequential {:.1} us vs batched {:.1} us per workload pass \
+         ({} lookups alone, {} issued + {} deduped batched)",
+        batch.sequential.avg_micros(),
+        batch.batched.avg_micros(),
+        batch.lookups_sequential,
+        batch.lookups_batched,
+        batch.lookups_deduped
+    );
+
     let loads = bench_snapshot_loads(15);
     for l in &loads {
         println!(
@@ -392,7 +576,7 @@ fn main() {
     let vf2_over_bvf2 = vf2.avg_micros() / bounded.avg_micros().max(0.001);
     let report = format!
 (
-        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}, \"cores\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"bvf2_breakdown\": {{\"fragment_build_us\": {:.1}, \"match_us\": {:.1}}},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"snapshot_load\": {{\n{}\n  }},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
+        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}, \"cores\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"bvf2_breakdown\": {{\"fragment_build_us\": {:.1}, \"match_us\": {:.1}}},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"fragment_cache\": {{\"uncached_us\": {:.1}, \"hit_us\": {:.1}, \"hit_speedup\": {:.2}, \"lookups_per_miss\": {}, \"fragment_nodes\": {}}},\n  \"batch\": {{\"sequential_us\": {:.1}, \"batch_us\": {:.1}, \"lookups_sequential\": {}, \"lookups_batched\": {}, \"lookups_deduped\": {}}},\n  \"snapshot_load\": {{\n{}\n  }},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
         config.movies,
         config.queries,
         config.rounds,
@@ -409,6 +593,16 @@ fn main() {
         stats.plan_cache_hits,
         stats.plan_cache_misses,
         stats.plan_cache_evictions,
+        fragment.uncached.avg_micros(),
+        fragment.hit.avg_micros(),
+        fragment.hit_speedup(),
+        fragment.lookups_per_miss,
+        fragment.fragment_nodes,
+        batch.sequential.avg_micros(),
+        batch.batched.avg_micros(),
+        batch.lookups_sequential,
+        batch.lookups_batched,
+        batch.lookups_deduped,
         snapshot_load_json,
         vf2_over_bvf2,
         opt.avg_micros() / bounded.avg_micros().max(0.001),
@@ -433,6 +627,17 @@ fn main() {
             std::process::exit(1);
         }
         println!("bench: speedup gate passed ({vf2_over_bvf2:.2} >= {min:.2})");
+    }
+    if let Some(min) = config.min_fragment_hit_speedup {
+        let speedup = fragment.hit_speedup();
+        if speedup < min {
+            eprintln!(
+                "bench: REGRESSION — fragment_cache.hit_speedup = {speedup:.2} \
+                 is below the required minimum {min:.2}"
+            );
+            std::process::exit(1);
+        }
+        println!("bench: fragment-cache hit gate passed ({speedup:.2} >= {min:.2})");
     }
     if let Some(min) = config.min_load_speedup {
         for l in &loads {

@@ -43,6 +43,11 @@ impl BudgetPolicy {
     /// The step budget for a request that must finish within `deadline`.
     /// Sub-millisecond deadlines round up to one millisecond before the
     /// floor applies; the result saturates instead of overflowing.
+    ///
+    /// The wire protocol never delivers a zero deadline: `deadline_ms: 0`
+    /// is rejected at decode (see `bgpq-net`), so the 1 ms round-up here
+    /// only smooths genuinely sub-millisecond [`Duration`]s from embedded
+    /// callers — it is a floor, not a loophole for "no deadline".
     pub fn step_budget_for(&self, deadline: Duration) -> u64 {
         let millis = u64::try_from(deadline.as_millis().max(1)).unwrap_or(u64::MAX);
         millis

@@ -1,13 +1,18 @@
 //! The session-oriented engine.
 
-use crate::cache::{PlanOutcome, SharedPlanCache};
+use crate::cache::{FragmentEntry, PlanOutcome, SharedFragmentCache, SharedPlanCache};
 use crate::error::BgpqError;
 use crate::request::QueryRequest;
-use crate::response::{Explain, QueryResponse};
+use crate::response::{Explain, QueryAnswer, QueryResponse};
 use crate::stats::{CacheOutcome, EngineStats, ExecStats};
-use crate::strategy::{Baseline, Bounded, IndexSeeded, Strategy, StrategyKind};
+use crate::strategy::{
+    vf2_config, Baseline, Bounded, IndexSeeded, Strategy, StrategyKind, StrategyRun,
+};
 use bgpq_access::{AccessIndexSet, AccessSchema};
-use bgpq_core::{plan_for_indices, PlanError, QueryPlan};
+use bgpq_core::{
+    bounded_simulation_match_prefetched, bounded_subgraph_match_prefetched, fetch_candidate_sets,
+    plan_for_indices, FetchStats, LookupMemo, PlanError, QueryPlan, Semantics,
+};
 use bgpq_graph::ScratchArena;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -18,6 +23,12 @@ pub const INITIAL_SNAPSHOT_VERSION: u64 = 0;
 
 /// Default number of planning outcomes the engine memoizes.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Default number of fetched candidate sets the engine memoizes. Fragments
+/// are heavier than plans (whole candidate sets instead of a handful of
+/// steps), so the default is smaller than
+/// [`DEFAULT_PLAN_CACHE_CAPACITY`].
+pub const DEFAULT_FRAGMENT_CACHE_CAPACITY: usize = 128;
 
 /// A session-oriented query engine over one graph and one access schema.
 ///
@@ -86,6 +97,9 @@ pub struct Engine {
     version: u64,
     strategies: Vec<Box<dyn Strategy>>,
     cache: SharedPlanCache,
+    /// Cached fetched candidate sets, keyed like the plan cache: a repeated
+    /// bounded query reuses its fragment instead of re-issuing lookups.
+    fragments: SharedFragmentCache,
     /// Pool of fragment-construction arenas, one checked out per in-flight
     /// bounded execution; buffers are reused across queries so steady-state
     /// fragment builds allocate nothing.
@@ -120,12 +134,36 @@ impl Engine {
     /// are keyed by snapshot version, so a version bump — which may change
     /// the schema's index coverage — makes them re-derive instead of being
     /// served stale, while engines of different versions coexist in the
-    /// shared cache.
+    /// shared cache. The fragment cache is private to this engine; serving
+    /// chains that want fragment reuse across snapshots use
+    /// [`Engine::with_caches_at_version`].
     pub fn with_indices_at_version(
         graph: bgpq_graph::Graph,
         indices: AccessIndexSet,
         version: u64,
         cache: SharedPlanCache,
+    ) -> Self {
+        Self::with_caches_at_version(
+            graph,
+            indices,
+            version,
+            cache,
+            SharedFragmentCache::default(),
+        )
+    }
+
+    /// [`Engine::with_indices_at_version`] with an explicitly shared
+    /// fragment cache as well: the serving layer hands the same
+    /// [`SharedFragmentCache`] to the engines of successive snapshots, so
+    /// commit-time invalidation (newer versions retiring strictly-older
+    /// entries) and pinned-reader coexistence work for cached fragments
+    /// exactly as they do for cached plans.
+    pub fn with_caches_at_version(
+        graph: bgpq_graph::Graph,
+        indices: AccessIndexSet,
+        version: u64,
+        cache: SharedPlanCache,
+        fragments: SharedFragmentCache,
     ) -> Self {
         Engine {
             graph,
@@ -133,6 +171,7 @@ impl Engine {
             version,
             strategies: vec![Box::new(Bounded), Box::new(IndexSeeded), Box::new(Baseline)],
             cache,
+            fragments,
             scratch: Mutex::new(Vec::new()),
             queries: AtomicU64::new(0),
             bounded_runs: AtomicU64::new(0),
@@ -154,6 +193,17 @@ impl Engine {
     pub fn with_plan_cache_capacity(self, capacity: usize) -> Self {
         Engine {
             cache: SharedPlanCache::with_capacity(capacity),
+            ..self
+        }
+    }
+
+    /// Replaces the fragment cache with one of the given capacity (`0`
+    /// disables fragment caching — every bounded query re-fetches). Existing
+    /// cached candidate sets and cache counters are dropped (the new cache
+    /// is private to this engine).
+    pub fn with_fragment_cache_capacity(self, capacity: usize) -> Self {
+        Engine {
+            fragments: SharedFragmentCache::with_capacity(capacity),
             ..self
         }
     }
@@ -207,6 +257,34 @@ impl Engine {
     /// for an unbounded pattern, [`BgpqError::StrategyUnavailable`]
     /// otherwise.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, BgpqError> {
+        self.execute_inner(request, None)
+    }
+
+    /// Executes a batch of requests against this snapshot, sharing one
+    /// [`LookupMemo`] across their fetches: index lookups that overlap
+    /// between the queries — the common case for templated queries over a
+    /// hot subgraph — are issued once and feed every fetch in the batch.
+    ///
+    /// Answers are identical to executing each request individually via
+    /// [`Engine::execute`], in order; per-request failures (pattern
+    /// mismatch, forced-strategy errors) are reported per slot without
+    /// failing the batch.
+    pub fn execute_batch(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse, BgpqError>> {
+        let mut memo = LookupMemo::new();
+        requests
+            .iter()
+            .map(|request| self.execute_inner(request, Some(&mut memo)))
+            .collect()
+    }
+
+    fn execute_inner(
+        &self,
+        request: &QueryRequest,
+        memo: Option<&mut LookupMemo>,
+    ) -> Result<QueryResponse, BgpqError> {
         let started = Instant::now();
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.check_pattern_alignment(request.pattern())?;
@@ -223,7 +301,14 @@ impl Engine {
         }
 
         let match_started = Instant::now();
-        let run = strategy.execute(self, request, plan);
+        // The bounded tier is dispatched directly so the batch lookup memo
+        // reaches the fetch; the trait object path cannot carry it.
+        let run = if strategy.kind() == StrategyKind::Bounded {
+            let plan = plan.expect("Bounded is only applicable with a plan");
+            self.run_bounded(request, plan, memo)
+        } else {
+            strategy.execute(self, request, plan)
+        };
         let exec_nanos = match_started.elapsed().as_nanos() as u64;
         let fragment_build_nanos = run
             .fetch
@@ -237,6 +322,7 @@ impl Engine {
             match_nanos: exec_nanos.saturating_sub(fragment_build_nanos),
             total_nanos: started.elapsed().as_nanos() as u64,
             plan_cache: Some(cache_outcome),
+            fragment_cache: run.fragment_cache,
             predicate_filtered: run.predicate_filtered,
             fetch: run.fetch,
             worst_case_nodes: plan.map(QueryPlan::worst_case_nodes),
@@ -256,10 +342,115 @@ impl Engine {
         })
     }
 
+    /// Runs the bounded tier: fragment-cache probe, fetch on a miss (through
+    /// `memo` when executing as part of a batch), zero-copy view build and
+    /// match. Cached candidate sets are keyed exactly like cached plans —
+    /// (pattern fingerprint, semantics, snapshot version) — which is sound
+    /// because the fingerprint canonically covers the pattern's structure,
+    /// labels and predicate constants, and planning and fetching are
+    /// deterministic for a fixed snapshot.
+    pub(crate) fn run_bounded(
+        &self,
+        request: &QueryRequest,
+        plan: &QueryPlan,
+        memo: Option<&mut LookupMemo>,
+    ) -> StrategyRun {
+        let key = (request.pattern().fingerprint(), request.semantics());
+        let (enabled, probed) = {
+            let mut cache = self.fragments.0.lock().expect("fragment cache poisoned");
+            (cache.is_enabled(), cache.probe(&key, self.version))
+        };
+        let (entry, fragment_cache) = match probed {
+            Some(entry) => (entry, CacheOutcome::Hit),
+            None => {
+                // Fetch outside the cache lock; racing misses both fetch and
+                // the second insert harmlessly replaces the first (fetching
+                // is deterministic per snapshot).
+                let fetched = match memo {
+                    Some(memo) => fetch_candidate_sets(
+                        plan,
+                        request.pattern(),
+                        &self.graph,
+                        &self.indices,
+                        memo,
+                    ),
+                    None => {
+                        let mut own = LookupMemo::new();
+                        fetch_candidate_sets(
+                            plan,
+                            request.pattern(),
+                            &self.graph,
+                            &self.indices,
+                            &mut own,
+                        )
+                    }
+                };
+                let entry: FragmentEntry = Arc::new(fetched);
+                if enabled {
+                    self.fragments
+                        .0
+                        .lock()
+                        .expect("fragment cache poisoned")
+                        .insert(key, self.version, Arc::clone(&entry));
+                    (entry, CacheOutcome::Miss)
+                } else {
+                    (entry, CacheOutcome::Bypass)
+                }
+            }
+        };
+
+        match request.semantics() {
+            Semantics::Isomorphism => {
+                let (matches, mut fetch, stats) = self.with_scratch(|scratch| {
+                    bounded_subgraph_match_prefetched(
+                        request.pattern(),
+                        &self.graph,
+                        &entry,
+                        vf2_config(request),
+                        scratch,
+                    )
+                });
+                if fragment_cache == CacheOutcome::Hit {
+                    subtract_cached_baseline(&mut fetch, &entry.stats);
+                }
+                StrategyRun {
+                    answer: QueryAnswer::Matches(matches),
+                    predicate_filtered: fetch.predicate_filtered,
+                    fetch: Some(fetch),
+                    matcher_steps: Some(stats.steps),
+                    aborted: stats.aborted,
+                    fragment_cache: Some(fragment_cache),
+                }
+            }
+            Semantics::Simulation => {
+                let (relation, mut fetch) = self.with_scratch(|scratch| {
+                    bounded_simulation_match_prefetched(
+                        request.pattern(),
+                        &self.graph,
+                        &entry,
+                        scratch,
+                    )
+                });
+                if fragment_cache == CacheOutcome::Hit {
+                    subtract_cached_baseline(&mut fetch, &entry.stats);
+                }
+                StrategyRun {
+                    answer: QueryAnswer::Simulation(relation),
+                    predicate_filtered: fetch.predicate_filtered,
+                    fetch: Some(fetch),
+                    matcher_steps: None,
+                    aborted: false,
+                    fragment_cache: Some(fragment_cache),
+                }
+            }
+        }
+    }
+
     /// Lifetime counters: queries served, bounded runs, fallbacks and plan
     /// cache behavior.
     pub fn stats(&self) -> EngineStats {
         let cache = self.cache.0.lock().expect("plan cache poisoned");
+        let fragments = self.fragments.0.lock().expect("fragment cache poisoned");
         EngineStats {
             snapshot_version: self.version,
             queries: self.queries.load(Ordering::Relaxed),
@@ -270,6 +461,11 @@ impl Engine {
             plan_cache_evictions: cache.evictions(),
             plan_cache_invalidations: cache.invalidations(),
             cached_plans: cache.len(),
+            fragment_cache_hits: fragments.hits(),
+            fragment_cache_misses: fragments.misses(),
+            fragment_cache_evictions: fragments.evictions(),
+            fragment_cache_invalidations: fragments.invalidations(),
+            cached_fragments: fragments.len(),
         }
     }
 
@@ -365,6 +561,26 @@ impl Engine {
             .expect("Baseline is always applicable");
         Ok(strategy.as_ref())
     }
+}
+
+/// Rebases a cache-hit request's fetch counters onto its *own* work: the
+/// cached [`FetchStats`] baseline — the lookups, filtering and lookup-side
+/// time spent when the fragment was originally fetched — is subtracted, so
+/// the request reports zero index lookups and only its view-construction
+/// time, while the fragment-size fields (not part of the baseline delta)
+/// keep describing the reused fragment.
+fn subtract_cached_baseline(fetch: &mut FetchStats, baseline: &FetchStats) {
+    fetch.index_lookups = fetch.index_lookups.saturating_sub(baseline.index_lookups);
+    fetch.lookups_deduped = fetch
+        .lookups_deduped
+        .saturating_sub(baseline.lookups_deduped);
+    fetch.nodes_returned = fetch.nodes_returned.saturating_sub(baseline.nodes_returned);
+    fetch.predicate_filtered = fetch
+        .predicate_filtered
+        .saturating_sub(baseline.predicate_filtered);
+    fetch.fragment_build_nanos = fetch
+        .fragment_build_nanos
+        .saturating_sub(baseline.fragment_build_nanos);
 }
 
 #[cfg(test)]

@@ -45,8 +45,10 @@ pub mod stats;
 pub mod strategy;
 
 pub use budget::BudgetPolicy;
-pub use cache::SharedPlanCache;
-pub use engine::{Engine, DEFAULT_PLAN_CACHE_CAPACITY, INITIAL_SNAPSHOT_VERSION};
+pub use cache::{SharedFragmentCache, SharedPlanCache};
+pub use engine::{
+    Engine, DEFAULT_FRAGMENT_CACHE_CAPACITY, DEFAULT_PLAN_CACHE_CAPACITY, INITIAL_SNAPSHOT_VERSION,
+};
 pub use error::BgpqError;
 pub use request::{QueryRequest, QueryRequestBuilder};
 pub use response::{Explain, QueryAnswer, QueryResponse};
@@ -62,9 +64,11 @@ pub use bgpq_access::{
     DiscoveryConfig, GraphDelta, MaintenanceStats, SnapshotBundle, TouchedNodes,
 };
 pub use bgpq_core::{
-    bounded_simulation_match, bounded_simulation_match_planned, bounded_subgraph_match,
-    bounded_subgraph_match_planned, execute_plan, plan_for_indices, plan_query, BoundedRun,
-    FetchResult, FetchStats, PlanError, QueryPlan, Semantics,
+    bounded_simulation_match, bounded_simulation_match_planned,
+    bounded_simulation_match_prefetched, bounded_subgraph_match, bounded_subgraph_match_planned,
+    bounded_subgraph_match_prefetched, execute_plan, fetch_candidate_sets, plan_for_indices,
+    plan_query, BoundedRun, CandidateSet, FetchResult, FetchStats, LookupMemo, PlanError,
+    QueryPlan, Semantics,
 };
 pub use bgpq_graph::{
     FragmentView, Graph, GraphAccess, GraphBuilder, GraphError, Label, LabelInterner, NodeId,

@@ -49,6 +49,12 @@ pub struct ExecStats {
     pub total_nanos: u64,
     /// What the plan cache did for this request.
     pub plan_cache: Option<CacheOutcome>,
+    /// What the fragment cache did for this request (`Some` iff the bounded
+    /// strategy ran). On a [`CacheOutcome::Hit`] the fetch skipped every
+    /// index lookup: [`ExecStats::fetch`] then reports only this request's
+    /// own work (zero lookups, the view-construction time), while the
+    /// fragment-size fields still describe the reused fragment.
+    pub fragment_cache: Option<CacheOutcome>,
     /// Candidate nodes rejected by the pattern's predicates before matching,
     /// reported by **every** strategy: the bounded tier counts fetched nodes
     /// its predicates dropped, the seeded tier counts drops during candidate
@@ -108,6 +114,19 @@ pub struct EngineStats {
     pub plan_cache_invalidations: u64,
     /// Plans (or negative outcomes) currently cached.
     pub cached_plans: usize,
+    /// Fragment-cache hits: bounded queries that reused a cached candidate
+    /// set and skipped every index lookup.
+    pub fragment_cache_hits: u64,
+    /// Fragment-cache misses (fetch passes whose candidate set was cached).
+    pub fragment_cache_misses: u64,
+    /// Candidate sets evicted to respect the fragment-cache capacity.
+    pub fragment_cache_evictions: u64,
+    /// Cached candidate sets retired because a newer snapshot version
+    /// re-fetched the same key — the commit-piggybacked invalidation of the
+    /// fragment cache.
+    pub fragment_cache_invalidations: u64,
+    /// Candidate sets currently cached.
+    pub cached_fragments: usize,
 }
 
 #[cfg(test)]

@@ -22,10 +22,8 @@
 use crate::engine::Engine;
 use crate::request::QueryRequest;
 use crate::response::QueryAnswer;
-use bgpq_core::{
-    bounded_simulation_match_planned, bounded_subgraph_match_planned, FetchStats, QueryPlan,
-    Semantics,
-};
+use crate::stats::CacheOutcome;
+use bgpq_core::{FetchStats, QueryPlan, Semantics};
 use bgpq_graph::Graph;
 use bgpq_matching::{
     opt_simulation_match_stats, opt_subgraph_match_stats, simulation_match, SubgraphMatcher,
@@ -72,6 +70,9 @@ pub struct StrategyRun {
     pub matcher_steps: Option<u64>,
     /// True when the search stopped on the request's step budget.
     pub aborted: bool,
+    /// What the fragment cache did, when the bounded strategy consulted it
+    /// (`None` for the non-bounded tiers, which fetch no fragment).
+    pub fragment_cache: Option<CacheOutcome>,
 }
 
 /// One evaluation tier the engine can dispatch a request to.
@@ -106,7 +107,7 @@ pub trait Strategy: Send + Sync {
 }
 
 /// Translates the request's budgets into matcher knobs.
-fn vf2_config(request: &QueryRequest) -> Vf2Config {
+pub(crate) fn vf2_config(request: &QueryRequest) -> Vf2Config {
     Vf2Config {
         max_matches: request.max_matches(),
         max_steps: request.step_budget(),
@@ -132,45 +133,9 @@ impl Strategy for Bounded {
         plan: Option<&QueryPlan>,
     ) -> StrategyRun {
         let plan = plan.expect("engine dispatches Bounded only with a plan");
-        match request.semantics() {
-            Semantics::Isomorphism => {
-                let (matches, fetch, stats) = engine.with_scratch(|scratch| {
-                    bounded_subgraph_match_planned(
-                        plan,
-                        request.pattern(),
-                        engine.graph(),
-                        engine.indices(),
-                        vf2_config(request),
-                        scratch,
-                    )
-                });
-                StrategyRun {
-                    answer: QueryAnswer::Matches(matches),
-                    predicate_filtered: fetch.predicate_filtered,
-                    fetch: Some(fetch),
-                    matcher_steps: Some(stats.steps),
-                    aborted: stats.aborted,
-                }
-            }
-            Semantics::Simulation => {
-                let (relation, fetch) = engine.with_scratch(|scratch| {
-                    bounded_simulation_match_planned(
-                        plan,
-                        request.pattern(),
-                        engine.graph(),
-                        engine.indices(),
-                        scratch,
-                    )
-                });
-                StrategyRun {
-                    answer: QueryAnswer::Simulation(relation),
-                    predicate_filtered: fetch.predicate_filtered,
-                    fetch: Some(fetch),
-                    matcher_steps: None,
-                    aborted: false,
-                }
-            }
-        }
+        // The bounded tier lives on the engine: it owns the fragment cache
+        // and the batch lookup memo this trait's signature cannot carry.
+        engine.run_bounded(request, plan, None)
     }
 }
 
@@ -208,6 +173,7 @@ impl Strategy for IndexSeeded {
                     predicate_filtered: seed.predicate_filtered,
                     matcher_steps: Some(stats.steps),
                     aborted: stats.aborted,
+                    fragment_cache: None,
                 }
             }
             Semantics::Simulation => {
@@ -219,6 +185,7 @@ impl Strategy for IndexSeeded {
                     predicate_filtered: seed.predicate_filtered,
                     matcher_steps: None,
                     aborted: false,
+                    fragment_cache: None,
                 }
             }
         }
@@ -255,6 +222,7 @@ impl Strategy for Baseline {
                     predicate_filtered,
                     matcher_steps: Some(stats.steps),
                     aborted: stats.aborted,
+                    fragment_cache: None,
                 }
             }
             Semantics::Simulation => StrategyRun {
@@ -266,6 +234,7 @@ impl Strategy for Baseline {
                 predicate_filtered,
                 matcher_steps: None,
                 aborted: false,
+                fragment_cache: None,
             },
         }
     }

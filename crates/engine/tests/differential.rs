@@ -209,9 +209,43 @@ fn run_seed(seed: u64) {
     let schema = random_schema(&mut rng, &graph);
     let indices = AccessIndexSet::build(&graph, &schema);
     let engine = Engine::with_indices(graph.clone(), indices.clone());
-    for (i, q) in workload(&mut rng, &graph, seed).iter().enumerate() {
+    let patterns = workload(&mut rng, &graph, seed);
+    for (i, q) in patterns.iter().enumerate() {
         check_isomorphism(seed, i, q, &graph, &indices, &engine);
         check_simulation(seed, i, q, &graph, &indices, &engine);
+    }
+
+    // The checks above warmed `engine`'s plan and fragment caches. Replays
+    // through the warm caches, and one `execute_batch` pass (shared lookup
+    // memo), must reproduce the answers of a fully uncached engine bit for
+    // bit.
+    let uncached = Engine::with_indices(graph.clone(), indices.clone())
+        .with_plan_cache_capacity(0)
+        .with_fragment_cache_capacity(0);
+    for semantics in [Semantics::Isomorphism, Semantics::Simulation] {
+        let requests: Vec<QueryRequest> = patterns
+            .iter()
+            .map(|q| QueryRequest::build(q.clone()).semantics(semantics).finish())
+            .collect();
+        for (i, (request, slot)) in requests
+            .iter()
+            .zip(engine.execute_batch(&requests))
+            .enumerate()
+        {
+            let batched = slot.unwrap_or_else(|e| {
+                panic!("auto strategy never fails (seed {seed}, pattern {i}): {e}")
+            });
+            let alone = uncached.execute(request).unwrap();
+            assert_eq!(
+                batched.answer, alone.answer,
+                "batch vs uncached (seed {seed}, pattern {i}, {semantics:?})"
+            );
+            let warm = engine.execute(request).unwrap();
+            assert_eq!(
+                warm.answer, alone.answer,
+                "warm cache vs uncached (seed {seed}, pattern {i}, {semantics:?})"
+            );
+        }
     }
 }
 
@@ -300,5 +334,91 @@ fn truncated_indices_agree_across_strategies() {
             .unwrap();
         assert_eq!(auto.answer.as_matches(), Some(&vf2), "seed {seed}");
         assert_ne!(auto.strategy, StrategyKind::Bounded, "seed {seed}");
+
+        // A replay through the now-warm plan cache (which holds the cached
+        // Unbounded verdict) and a batch over the same pattern agree too.
+        let again = engine
+            .execute(&QueryRequest::build(q.clone()).finish())
+            .unwrap();
+        assert_eq!(again.answer.as_matches(), Some(&vf2), "seed {seed}");
+        let requests = vec![
+            QueryRequest::build(q.clone()).finish(),
+            QueryRequest::build(q.clone()).finish(),
+        ];
+        for slot in engine.execute_batch(&requests) {
+            let response = slot.unwrap();
+            assert_eq!(response.answer.as_matches(), Some(&vf2), "seed {seed}");
+        }
+    }
+}
+
+/// Interleaved-commit differential: a serving chain shares one plan cache
+/// and one fragment cache across snapshot versions. After every "commit"
+/// (graph mutation + index rebuild + version bump), answers served through
+/// the shared caches — cold, warm, and batched — must equal a fully
+/// uncached engine on the same snapshot. Deliberately tiny cache
+/// capacities force eviction and version churn to interact.
+#[test]
+fn cached_answers_agree_across_interleaved_commits() {
+    use bgpq_engine::{SharedFragmentCache, SharedPlanCache};
+    for seed in [7u64, 21, 42, 63, 84] {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut graph = random_graph(&mut rng);
+        let cache = SharedPlanCache::with_capacity(8);
+        let fragments = SharedFragmentCache::with_capacity(8);
+        for version in 0..4u64 {
+            let schema = discover_schema(&graph, &DiscoveryConfig::default());
+            let indices = AccessIndexSet::build(&graph, &schema);
+            let engine = Engine::with_caches_at_version(
+                graph.clone(),
+                indices.clone(),
+                version,
+                cache.clone(),
+                fragments.clone(),
+            );
+            let uncached = Engine::with_indices(graph.clone(), indices.clone())
+                .with_plan_cache_capacity(0)
+                .with_fragment_cache_capacity(0);
+            let patterns = workload(&mut rng, &graph, seed ^ version);
+            let requests: Vec<QueryRequest> = patterns
+                .iter()
+                .map(|q| QueryRequest::build(q.clone()).finish())
+                .collect();
+            for (i, request) in requests.iter().enumerate() {
+                let expected = uncached.execute(request).unwrap().answer;
+                let cold = engine.execute(request).unwrap().answer;
+                assert_eq!(
+                    cold, expected,
+                    "cold (seed {seed}, v{version}, pattern {i})"
+                );
+                let warm = engine.execute(request).unwrap().answer;
+                assert_eq!(
+                    warm, expected,
+                    "warm (seed {seed}, v{version}, pattern {i})"
+                );
+            }
+            for (i, slot) in engine.execute_batch(&requests).into_iter().enumerate() {
+                let expected = uncached.execute(&requests[i]).unwrap().answer;
+                let batched = slot.unwrap().answer;
+                assert_eq!(
+                    batched, expected,
+                    "batch (seed {seed}, v{version}, pattern {i})"
+                );
+            }
+
+            // The "commit": mutate the graph for the next version while the
+            // shared caches keep holding this version's entries.
+            let live: Vec<_> = graph.nodes().filter(|&v| graph.is_live(v)).collect();
+            let label = LABEL_POOL[rng.random_range(0..LABEL_POOL.len())];
+            let new = graph.insert_node(label, Value::Int(rng.random_range(0..9) as i64));
+            let anchor = live[rng.random_range(0..live.len())];
+            graph.insert_edge(anchor, new).unwrap();
+            if rng.random_bool(0.5) {
+                let victim = live[rng.random_range(0..live.len())];
+                if victim != anchor {
+                    graph.delete_node(victim).unwrap();
+                }
+            }
+        }
     }
 }

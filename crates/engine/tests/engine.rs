@@ -418,6 +418,166 @@ fn exec_stats_are_uniform_across_strategies() {
     }
 }
 
+/// A repeated bounded query must reuse its cached candidate set: the second
+/// run reports a fragment-cache hit with zero index lookups, the same
+/// fragment, and the identical answer.
+#[test]
+fn repeated_bounded_query_hits_the_fragment_cache() {
+    let engine = engine();
+    let request = |year| QueryRequest::build(movie_pattern(engine.graph(), year)).finish();
+
+    let first = engine.execute(&request(2011)).unwrap();
+    assert_eq!(first.strategy, StrategyKind::Bounded);
+    assert_eq!(first.stats.fragment_cache, Some(CacheOutcome::Miss));
+    let first_fetch = first.stats.fetch.as_ref().unwrap();
+    assert!(first_fetch.index_lookups > 0);
+
+    let second = engine.execute(&request(2011)).unwrap();
+    assert_eq!(second.stats.fragment_cache, Some(CacheOutcome::Hit));
+    assert_eq!(second.answer, first.answer);
+    // The hit skipped every lookup: the fetch reports only this request's
+    // own work, while the fragment-size fields describe the reused fragment.
+    let second_fetch = second.stats.fetch.as_ref().unwrap();
+    assert_eq!(second_fetch.index_lookups, 0);
+    assert_eq!(second_fetch.lookups_deduped, 0);
+    assert_eq!(second_fetch.nodes_returned, 0);
+    assert_eq!(second_fetch.fragment_nodes, first_fetch.fragment_nodes);
+    assert_eq!(second_fetch.fragment_edges, first_fetch.fragment_edges);
+    assert!(second_fetch.fragment_build_nanos <= first_fetch.fragment_build_nanos);
+
+    // A different predicate constant is a different fragment: miss.
+    let other = engine.execute(&request(2013)).unwrap();
+    assert_eq!(other.stats.fragment_cache, Some(CacheOutcome::Miss));
+
+    let stats = engine.stats();
+    assert_eq!(stats.fragment_cache_hits, 1);
+    assert_eq!(stats.fragment_cache_misses, 2);
+    assert_eq!(stats.cached_fragments, 2);
+}
+
+/// Capacity 0 disables the fragment cache: every bounded run re-fetches and
+/// reports a bypass, and nothing is retained or counted.
+#[test]
+fn fragment_cache_capacity_zero_bypasses() {
+    let engine = engine().with_fragment_cache_capacity(0);
+    let request = || QueryRequest::build(movie_pattern(engine.graph(), 2011)).finish();
+    let first = engine.execute(&request()).unwrap();
+    let second = engine.execute(&request()).unwrap();
+    assert_eq!(first.stats.fragment_cache, Some(CacheOutcome::Bypass));
+    assert_eq!(second.stats.fragment_cache, Some(CacheOutcome::Bypass));
+    assert_eq!(second.answer, first.answer);
+    assert!(second.stats.fetch.as_ref().unwrap().index_lookups > 0);
+    let stats = engine.stats();
+    assert_eq!(stats.fragment_cache_hits, 0);
+    assert_eq!(stats.fragment_cache_misses, 0);
+    assert_eq!(stats.cached_fragments, 0);
+}
+
+/// Only the bounded tier consults the fragment cache; the other strategies
+/// fetch no fragment and must report no outcome.
+#[test]
+fn non_bounded_strategies_report_no_fragment_cache_outcome() {
+    let engine = engine();
+    for kind in [StrategyKind::IndexSeeded, StrategyKind::Baseline] {
+        let r = engine
+            .execute(
+                &QueryRequest::build(movie_pattern(engine.graph(), 2011))
+                    .strategy(kind)
+                    .finish(),
+            )
+            .unwrap();
+        assert_eq!(r.stats.fragment_cache, None, "{kind:?}");
+    }
+}
+
+/// `execute_batch` returns, slot for slot, exactly what sequential
+/// `execute` calls return — while sharing index lookups between the
+/// queries through the batch memo.
+#[test]
+fn execute_batch_matches_sequential_execution() {
+    let solo = engine().with_fragment_cache_capacity(0);
+    let batched = engine().with_fragment_cache_capacity(0);
+    let patterns: Vec<_> = [2010, 2011, 2012]
+        .into_iter()
+        .map(|y| movie_pattern(solo.graph(), y))
+        .collect();
+
+    let solo_runs: Vec<_> = patterns
+        .iter()
+        .map(|q| {
+            solo.execute(&QueryRequest::build(q.clone()).finish())
+                .unwrap()
+        })
+        .collect();
+    let requests: Vec<_> = patterns
+        .iter()
+        .map(|q| QueryRequest::build(q.clone()).finish())
+        .collect();
+    let batch_runs: Vec<_> = batched
+        .execute_batch(&requests)
+        .into_iter()
+        .map(Result::unwrap)
+        .collect();
+
+    assert_eq!(batch_runs.len(), solo_runs.len());
+    for (b, s) in batch_runs.iter().zip(&solo_runs) {
+        assert_eq!(b.answer, s.answer);
+        assert_eq!(b.strategy, s.strategy);
+        let (bf, sf) = (
+            b.stats.fetch.as_ref().unwrap(),
+            s.stats.fetch.as_ref().unwrap(),
+        );
+        assert_eq!(bf.fragment_nodes, sf.fragment_nodes);
+        assert_eq!(bf.fragment_edges, sf.fragment_edges);
+        // The memo only changes *where* a lookup is answered, never how
+        // many keys the fetch resolves.
+        assert_eq!(
+            bf.index_lookups + bf.lookups_deduped,
+            sf.index_lookups + sf.lookups_deduped
+        );
+    }
+    // The later queries reuse the earlier ones' lookups (the global year
+    // and award scans at least), so they issue strictly fewer themselves.
+    let bf = batch_runs[1].stats.fetch.as_ref().unwrap();
+    let sf = solo_runs[1].stats.fetch.as_ref().unwrap();
+    assert!(
+        bf.index_lookups < sf.index_lookups,
+        "batched query must share lookups: {} vs {}",
+        bf.index_lookups,
+        sf.index_lookups
+    );
+    assert!(bf.lookups_deduped > 0);
+}
+
+/// A bad slot in a batch fails alone: the other requests still run and
+/// return their answers.
+#[test]
+fn batch_failures_are_per_slot() {
+    let engine = engine();
+    // A foreign-interner pattern (ids cross names) is rejected.
+    let mut pb = PatternBuilder::new();
+    let m = pb.node("movie", Predicate::always());
+    let y = pb.node("year", Predicate::always());
+    pb.edge(y, m);
+    let requests = vec![
+        QueryRequest::build(movie_pattern(engine.graph(), 2011)).finish(),
+        QueryRequest::build(pb.build()).finish(),
+        QueryRequest::build(movie_pattern(engine.graph(), 2012)).finish(),
+    ];
+    let results = engine.execute_batch(&requests);
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok());
+    assert!(matches!(
+        results[1].as_ref().unwrap_err(),
+        BgpqError::PatternMismatch { .. }
+    ));
+    let direct = SubgraphMatcher::new(requests[2].pattern(), engine.graph()).find_all();
+    assert_eq!(
+        results[2].as_ref().unwrap().answer.as_matches(),
+        Some(&direct)
+    );
+}
+
 /// The equivalence suite's guarantee, re-asserted through the session API:
 /// on generated workloads the engine (auto-selected strategy) returns
 /// exactly the direct algorithms' answers, for both semantics.

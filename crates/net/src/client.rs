@@ -161,6 +161,12 @@ impl Client {
                 )))
             }
         };
+        self.drain_answer(header)
+    }
+
+    /// Drains one streamed answer (`answer` … `rows*` … `done`) whose
+    /// header has already been received.
+    fn drain_answer(&mut self, header: AnswerHeader) -> Result<QueryOutcome, ClientError> {
         let mut matches = Vec::new();
         let mut sim = Vec::new();
         loop {
@@ -187,6 +193,56 @@ impl Client {
                 }
             }
         }
+    }
+
+    /// Runs a batch of queries in one round trip. The server executes them
+    /// on a single snapshot, sharing index lookups across the batch, and
+    /// streams one reply sequence per query in request order.
+    ///
+    /// The outer `Result` covers whole-batch failures (rejection at
+    /// admission, transport errors); the inner per-slot `Result`s carry
+    /// each query's own outcome, so one bad query does not lose the rest.
+    pub fn batch(
+        &mut self,
+        specs: &[QuerySpec],
+    ) -> Result<Vec<Result<QueryOutcome, ClientError>>, ClientError> {
+        self.send(&Request::Batch(specs.to_vec()))?;
+        let count = match self.recv()? {
+            Response::BatchStart { count } => count,
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => return Err(Self::server_error(code, message, retry_after_ms)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected batch_start, got {other:?}"
+                )))
+            }
+        };
+        if count != specs.len() as u64 {
+            return Err(ClientError::Protocol(format!(
+                "batch_start announced {count} replies for {} queries",
+                specs.len()
+            )));
+        }
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for _ in 0..count {
+            match self.recv()? {
+                Response::Answer(header) => outcomes.push(self.drain_answer(header)),
+                Response::Error {
+                    code,
+                    message,
+                    retry_after_ms,
+                } => outcomes.push(Err(Self::server_error(code, message, retry_after_ms))),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected an answer header or error, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(outcomes)
     }
 
     /// Commits a batch of updates.

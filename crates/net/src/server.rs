@@ -397,6 +397,7 @@ fn session_loop(shared: Arc<Shared>, stream: TcpStream) {
                 return;
             }
             Request::Query(spec) => handle_query(&shared, &mut out, spec),
+            Request::Batch(specs) => handle_batch(&shared, &mut out, specs),
             Request::Update(updates) => handle_update(&shared, &mut out, &updates),
             Request::Stats => out.send(&Response::Stats(stats_json(&shared))),
             Request::Ping => out.send(&Response::Pong {
@@ -491,24 +492,14 @@ fn map_engine_error(err: &BgpqError) -> (ErrorCode, String) {
     }
 }
 
-fn handle_query(shared: &Shared, out: &mut SessionOut<'_>, spec: QuerySpec) -> std::io::Result<()> {
-    shared.queries.fetch_add(1, Ordering::Relaxed);
-    let permit = match shared.gate.try_admit() {
-        Admission::Admitted(permit) => permit,
-        rejected => return reject(shared, out, rejected),
-    };
-    let started = Instant::now();
-
-    // Pin one snapshot for the whole request: the pool executes on it and
-    // the bindings below render labels/values from the same version.
-    let snapshot = shared.server.snapshot();
-    let pattern = match parse_pattern(&spec.pattern, snapshot.graph().interner().clone()) {
-        Ok(p) => p,
-        Err(e) => {
-            drop(permit);
-            return out.send_error(ErrorCode::BadPattern, e.to_string(), None);
-        }
-    };
+/// Builds the engine request for one wire spec against a pinned snapshot.
+fn build_request(
+    shared: &Shared,
+    snapshot: &bgpq_serve::Snapshot,
+    spec: &QuerySpec,
+) -> Result<(QueryRequest, bgpq_pattern::Pattern), (ErrorCode, String)> {
+    let pattern = parse_pattern(&spec.pattern, snapshot.graph().interner().clone())
+        .map_err(|e| (ErrorCode::BadPattern, e.to_string()))?;
     let mut builder = QueryRequest::build(pattern.clone())
         .semantics(spec.semantics)
         .explain(spec.explain);
@@ -524,19 +515,34 @@ fn handle_query(shared: &Shared, out: &mut SessionOut<'_>, spec: QuerySpec) -> s
     if let Some(ms) = spec.deadline_ms {
         builder = builder.deadline(Duration::from_millis(ms), &shared.config.budget_policy);
     }
-    let result = match shared
-        .pool
-        .submit_pinned(Arc::clone(&snapshot), builder.finish())
-        .recv()
-    {
-        Ok(result) => result,
-        Err(_) => {
-            drop(permit);
-            return out.send_error(ErrorCode::Internal, "worker pool unavailable", None);
-        }
-    };
+    Ok((builder.finish(), pattern))
+}
 
-    let flow = match result {
+/// Whether an aborted run is a deadline overrun: true when the
+/// deadline-derived budget was the binding constraint. An abort under a
+/// tighter *explicit* budget is an ordinary truncated answer instead.
+fn deadline_blamed(shared: &Shared, spec: &QuerySpec, aborted: bool) -> bool {
+    aborted
+        && spec.deadline_ms.is_some_and(|ms| {
+            let derived = shared
+                .config
+                .budget_policy
+                .step_budget_for(Duration::from_millis(ms));
+            derived <= spec.step_budget.unwrap_or(u64::MAX)
+        })
+}
+
+/// Streams one query's reply sequence: the deadline-blame decision, then
+/// either a typed error or the `answer`/`rows*`/`done` frames.
+fn send_query_result(
+    shared: &Shared,
+    out: &mut SessionOut<'_>,
+    spec: &QuerySpec,
+    result: Result<bgpq_engine::QueryResponse, BgpqError>,
+    pattern: &bgpq_pattern::Pattern,
+    snapshot: &bgpq_serve::Snapshot,
+) -> std::io::Result<()> {
+    match result {
         Err(err) => {
             let (code, message) = map_engine_error(&err);
             out.send_error(code, message, None)
@@ -546,15 +552,7 @@ fn handle_query(shared: &Shared, out: &mut SessionOut<'_>, spec: QuerySpec) -> s
             // deadline-derived budget was the binding constraint; an abort
             // under a tighter *explicit* budget is an ordinary truncated
             // answer with `done.aborted` set.
-            let deadline_blamed = response.stats.aborted
-                && spec.deadline_ms.is_some_and(|ms| {
-                    let derived = shared
-                        .config
-                        .budget_policy
-                        .step_budget_for(Duration::from_millis(ms));
-                    derived <= spec.step_budget.unwrap_or(u64::MAX)
-                });
-            if deadline_blamed {
+            if deadline_blamed(shared, spec, response.stats.aborted) {
                 out.send_error(
                     ErrorCode::BudgetExceeded,
                     format!(
@@ -564,16 +562,127 @@ fn handle_query(shared: &Shared, out: &mut SessionOut<'_>, spec: QuerySpec) -> s
                     None,
                 )
             } else {
-                stream_answer(shared, out, &response, &pattern, &snapshot)
+                stream_answer(shared, out, &response, pattern, snapshot)
             }
         }
+    }
+}
+
+fn handle_query(shared: &Shared, out: &mut SessionOut<'_>, spec: QuerySpec) -> std::io::Result<()> {
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    let permit = match shared.gate.try_admit() {
+        Admission::Admitted(permit) => permit,
+        rejected => return reject(shared, out, rejected),
     };
+    let started = Instant::now();
+
+    // Pin one snapshot for the whole request: the pool executes on it and
+    // the bindings below render labels/values from the same version.
+    let snapshot = shared.server.snapshot();
+    let (request, pattern) = match build_request(shared, &snapshot, &spec) {
+        Ok(built) => built,
+        Err((code, message)) => {
+            drop(permit);
+            return out.send_error(code, message, None);
+        }
+    };
+    let result = match shared
+        .pool
+        .submit_pinned(Arc::clone(&snapshot), request)
+        .recv()
+    {
+        Ok(result) => result,
+        Err(_) => {
+            drop(permit);
+            return out.send_error(ErrorCode::Internal, "worker pool unavailable", None);
+        }
+    };
+
+    let flow = send_query_result(shared, out, &spec, result, &pattern, &snapshot);
     shared
         .latency
         .lock()
         .expect("latency poisoned")
         .record(started.elapsed().as_micros() as u64);
     drop(permit); // response fully written: free the admission slot
+    flow
+}
+
+/// Serves a [`Request::Batch`]: one admission permit and one pinned
+/// snapshot for the whole batch, executed through
+/// [`WorkerPool::submit_batch_pinned`] so the queries share index lookups.
+/// The reply is a `batch_start` frame followed by one reply sequence per
+/// query in request order — a full answer stream, or a single error frame
+/// for slots that fail to parse, exceed their deadline, or error in the
+/// engine. Slot failures never abort the rest of the batch.
+fn handle_batch(
+    shared: &Shared,
+    out: &mut SessionOut<'_>,
+    specs: Vec<QuerySpec>,
+) -> std::io::Result<()> {
+    shared
+        .queries
+        .fetch_add(specs.len() as u64, Ordering::Relaxed);
+    let permit = match shared.gate.try_admit() {
+        Admission::Admitted(permit) => permit,
+        rejected => return reject(shared, out, rejected),
+    };
+    let started = Instant::now();
+
+    let snapshot = shared.server.snapshot();
+    // Build every slot up front; parse failures keep their position and are
+    // reported in-sequence without occupying the pool.
+    let built: Vec<Result<(QueryRequest, bgpq_pattern::Pattern), (ErrorCode, String)>> = specs
+        .iter()
+        .map(|spec| build_request(shared, &snapshot, spec))
+        .collect();
+    let requests: Vec<QueryRequest> = built
+        .iter()
+        .filter_map(|b| b.as_ref().ok().map(|(request, _)| request.clone()))
+        .collect();
+    let mut results = if requests.is_empty() {
+        Vec::new()
+    } else {
+        match shared
+            .pool
+            .submit_batch_pinned(Arc::clone(&snapshot), requests)
+            .recv()
+        {
+            Ok(results) => results,
+            Err(_) => {
+                drop(permit);
+                return out.send_error(ErrorCode::Internal, "worker pool unavailable", None);
+            }
+        }
+    };
+
+    let mut flow = out.send(&Response::BatchStart {
+        count: specs.len() as u64,
+    });
+    let mut next_result = results.drain(..);
+    for (spec, slot) in specs.iter().zip(&built) {
+        if flow.is_err() {
+            break;
+        }
+        flow = match slot {
+            Err((code, message)) => out.send_error(*code, message.clone(), None),
+            Ok((_, pattern)) => {
+                let result = next_result
+                    .next()
+                    .unwrap_or(Err(BgpqError::StrategyUnavailable {
+                        requested: bgpq_engine::StrategyKind::Bounded,
+                        reason: "worker pool returned too few results".into(),
+                    }));
+                send_query_result(shared, out, spec, result, pattern, &snapshot)
+            }
+        };
+    }
+    shared
+        .latency
+        .lock()
+        .expect("latency poisoned")
+        .record(started.elapsed().as_micros() as u64);
+    drop(permit);
     flow
 }
 

@@ -233,6 +233,8 @@ struct TierResult {
     nodes_touched: u64,
     final_version: u64,
     plan_cache_invalidations: u64,
+    fragment_cache_hits: u64,
+    fragment_cache_invalidations: u64,
 }
 
 /// One closed-loop measurement: `threads` readers hammering the server while
@@ -330,6 +332,67 @@ fn run_tier(
         nodes_touched: stats.nodes_touched,
         final_version: stats.epoch,
         plan_cache_invalidations: engine_stats.plan_cache_invalidations,
+        fragment_cache_hits: engine_stats.fragment_cache_hits,
+        fragment_cache_invalidations: engine_stats.fragment_cache_invalidations,
+    }
+}
+
+/// The repeated-hot-query serving comparison: one closed loop running the
+/// workload one query at a time vs the same loop submitting it as one
+/// [`bgpq_serve::Snapshot::execute_batch`] call per iteration, on a quiet
+/// server (no writer). Both loops run against the same warmed server, so
+/// the numbers isolate dispatch + lookup sharing, not cold caches.
+struct BatchLoopResult {
+    sequential_qps: f64,
+    batch_qps: f64,
+    fragment_cache_hits: u64,
+}
+
+fn run_batch_loop(
+    base_graph: &Graph,
+    schema: &AccessSchema,
+    queries: &[Pattern],
+    duration: Duration,
+) -> BatchLoopResult {
+    let server = Server::new(base_graph.clone(), schema);
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::build(q.clone()).finish())
+        .collect();
+    // Warm pass: plan and fragment caches populated before either loop.
+    let snapshot = server.snapshot();
+    for request in &requests {
+        snapshot
+            .execute(request)
+            .expect("serving queries never fail");
+    }
+
+    let deadline = Instant::now() + duration;
+    let mut sequential = 0u64;
+    while Instant::now() < deadline {
+        let snapshot = server.snapshot();
+        for request in &requests {
+            snapshot
+                .execute(request)
+                .expect("serving queries never fail");
+            sequential += 1;
+        }
+    }
+
+    let deadline = Instant::now() + duration;
+    let mut batched = 0u64;
+    while Instant::now() < deadline {
+        let snapshot = server.snapshot();
+        for result in snapshot.execute_batch(&requests) {
+            result.expect("serving queries never fail");
+            batched += 1;
+        }
+    }
+
+    BatchLoopResult {
+        sequential_qps: sequential as f64 / duration.as_secs_f64(),
+        batch_qps: batched as f64 / duration.as_secs_f64(),
+        fragment_cache_hits: server.snapshot().engine().stats().fragment_cache_hits,
     }
 }
 
@@ -378,18 +441,28 @@ fn main() {
             );
             println!(
                 "{:>2} worker(s): {:>8.0} qps ({} queries, {} commits of {:.1} us avg, \
-                 of which delta apply {:.1} us, final version {})",
+                 of which delta apply {:.1} us, final version {}, \
+                 {} fragment-cache hits / {} invalidations)",
                 tier.threads,
                 tier.qps,
                 tier.queries,
                 tier.commits,
                 tier.avg_commit_us,
                 tier.avg_delta_apply_us,
-                tier.final_version
+                tier.final_version,
+                tier.fragment_cache_hits,
+                tier.fragment_cache_invalidations
             );
             tier
         })
         .collect();
+
+    let batch = run_batch_loop(&graph, &schema, &queries, duration);
+    println!(
+        "batch loop: {:.0} qps sequential vs {:.0} qps batched \
+         ({} fragment-cache hits)",
+        batch.sequential_qps, batch.batch_qps, batch.fragment_cache_hits
+    );
 
     let single = tiers.iter().find(|t| t.threads == 1);
     let best_multi = tiers
@@ -408,7 +481,8 @@ fn main() {
                 "    {{\"threads\": {}, \"queries\": {}, \"answers\": {}, \"qps\": {:.0}, \
                  \"commits\": {}, \"avg_commit_us\": {:.1}, \"avg_delta_apply_us\": {:.1}, \
                  \"nodes_touched\": {}, \"final_version\": {}, \
-                 \"plan_cache_invalidations\": {}}}",
+                 \"plan_cache_invalidations\": {}, \"fragment_cache_hits\": {}, \
+                 \"fragment_cache_invalidations\": {}}}",
                 t.threads,
                 t.queries,
                 t.answers,
@@ -418,7 +492,9 @@ fn main() {
                 t.avg_delta_apply_us,
                 t.nodes_touched,
                 t.final_version,
-                t.plan_cache_invalidations
+                t.plan_cache_invalidations,
+                t.fragment_cache_hits,
+                t.fragment_cache_invalidations
             )
         })
         .collect();
@@ -431,7 +507,8 @@ fn main() {
     let report = format!(
         "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"duration_ms\": {}, \
          \"writer_period_us\": {}, \"cores\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \
-         \"tiers\": [\n{}\n  ],\n  \"scaling\": {}\n}}\n",
+         \"tiers\": [\n{}\n  ],\n  \"batch\": {{\"sequential_qps\": {:.0}, \"batch_qps\": {:.0}, \
+         \"fragment_cache_hits\": {}}},\n  \"scaling\": {}\n}}\n",
         config.movies,
         config.queries,
         config.duration_ms,
@@ -440,6 +517,9 @@ fn main() {
         graph.node_count(),
         graph.edge_count(),
         tier_json.join(",\n"),
+        batch.sequential_qps,
+        batch.batch_qps,
+        batch.fragment_cache_hits,
         scaling_json
     );
     std::fs::write(&config.out, &report).expect("write bench report");

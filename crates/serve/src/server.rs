@@ -2,7 +2,9 @@
 
 use crate::snapshot::Snapshot;
 use bgpq_access::{apply_deltas, AccessIndexSet, AccessSchema, GraphDelta, MaintenanceStats};
-use bgpq_engine::{BgpqError, Engine, QueryRequest, QueryResponse, SharedPlanCache};
+use bgpq_engine::{
+    BgpqError, Engine, QueryRequest, QueryResponse, SharedFragmentCache, SharedPlanCache,
+};
 use bgpq_graph::{Graph, NodeId, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -113,12 +115,14 @@ pub struct ServerStats {
 ///   [`CommitReceipt::delta_apply_nanos`] for the split) — structurally
 ///   shared adjacency would shave that and is the natural next step if
 ///   writer throughput on big graphs becomes the bottleneck.
-/// * **Plans stay correct across epochs.** All snapshot engines share one
-///   [`SharedPlanCache`]; slots are keyed by snapshot version, so a commit
-///   that changes index coverage makes every affected plan (and unbounded
-///   verdict) re-derive at the new version — retiring the superseded
-///   entries — while readers pinned to old snapshots keep their own cache
-///   population instead of fighting the current readers for slots.
+/// * **Caches stay correct across epochs.** All snapshot engines share one
+///   [`SharedPlanCache`] *and* one [`SharedFragmentCache`]; slots are keyed
+///   by snapshot version, so a commit that changes index coverage or graph
+///   content makes every affected plan (and unbounded verdict) and every
+///   cached candidate set re-derive at the new version — retiring the
+///   superseded entries, the commit-piggybacked invalidation — while
+///   readers pinned to old snapshots keep their own cache population
+///   instead of fighting the current readers for slots.
 ///
 /// ```
 /// use bgpq_engine::{AccessConstraint, AccessSchema, Value};
@@ -142,6 +146,7 @@ pub struct ServerStats {
 pub struct Server {
     current: RwLock<Arc<Snapshot>>,
     cache: SharedPlanCache,
+    fragments: SharedFragmentCache,
     /// Serializes writers; held across the whole copy-on-write commit.
     writer: Mutex<()>,
     commits: AtomicU64,
@@ -164,10 +169,13 @@ impl Server {
     /// Creates a server from pre-built indices.
     pub fn with_indices(graph: Graph, indices: AccessIndexSet) -> Self {
         let cache = SharedPlanCache::default();
-        let engine = Engine::with_indices_at_version(graph, indices, 0, cache.clone());
+        let fragments = SharedFragmentCache::default();
+        let engine =
+            Engine::with_caches_at_version(graph, indices, 0, cache.clone(), fragments.clone());
         Server {
             current: RwLock::new(Arc::new(Snapshot::new(engine))),
             cache,
+            fragments,
             writer: Mutex::new(()),
             commits: AtomicU64::new(0),
             commit_nanos: AtomicU64::new(0),
@@ -202,6 +210,17 @@ impl Server {
     /// should pin a [`Server::snapshot`] once and execute on it directly.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, BgpqError> {
         self.snapshot().execute(request)
+    }
+
+    /// Executes a batch of requests against one pinned snapshot (all slots
+    /// observe the same version even if commits land mid-batch), sharing
+    /// index lookups between the queries' fetches — see
+    /// [`Engine::execute_batch`](bgpq_engine::Engine::execute_batch).
+    pub fn execute_batch(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse, BgpqError>> {
+        self.snapshot().execute_batch(requests)
     }
 
     /// Applies a batch of updates atomically, publishing the next snapshot.
@@ -283,7 +302,13 @@ impl Server {
         let delta_apply_nanos = started.elapsed().as_nanos() as u64;
 
         let version = base.version() + 1;
-        let engine = Engine::with_indices_at_version(graph, indices, version, self.cache.clone());
+        let engine = Engine::with_caches_at_version(
+            graph,
+            indices,
+            version,
+            self.cache.clone(),
+            self.fragments.clone(),
+        );
         let next = Arc::new(Snapshot::new(engine));
         *self.current.write().expect("snapshot pointer poisoned") = next;
         let commit_nanos = commit_started.elapsed().as_nanos() as u64;
@@ -472,6 +497,135 @@ mod tests {
             assert_eq!(kept.key_count(), fresh.key_count());
             assert_eq!(kept.size(), fresh.size());
         }
+    }
+
+    #[test]
+    fn version_bump_invalidates_shared_fragment_cache() {
+        let (g, schema) = fixture();
+        let server = Server::new(g, &schema);
+        let request = year_movie_actor_query(server.snapshot().graph(), 2012);
+
+        server.execute(&request).unwrap(); // miss, fragment cached at v0
+        server.execute(&request).unwrap(); // hit
+        assert_eq!(server.snapshot().engine().stats().fragment_cache_hits, 1);
+
+        // Attach a second movie+actor to the 2012 year node: the cached v0
+        // fragment no longer describes the graph.
+        let next = server.snapshot().graph().node_count() as u32;
+        server
+            .commit(&[
+                Update::AddNode {
+                    label: "movie".into(),
+                    value: Value::str("Gravity"),
+                },
+                Update::AddNode {
+                    label: "actor".into(),
+                    value: Value::str("Bullock"),
+                },
+                Update::AddEdge {
+                    src: NodeId(0),
+                    dst: NodeId(next),
+                },
+                Update::AddEdge {
+                    src: NodeId(next),
+                    dst: NodeId(next + 1),
+                },
+            ])
+            .unwrap();
+
+        // The v1 probe misses (stale fragments are invisible), re-fetches,
+        // and the answer reflects the committed change — never the cache.
+        let after = server.execute(&request).unwrap();
+        assert_eq!(after.answer.len(), 2);
+        assert_eq!(after.stats.snapshot_version, 1);
+        let stats = server.snapshot().engine().stats();
+        assert_eq!(
+            stats.fragment_cache_invalidations, 1,
+            "the v0 fragment must be retired by the v1 re-fetch"
+        );
+        // And the re-fetched v1 fragment serves hits again.
+        let again = server.execute(&request).unwrap();
+        assert_eq!(again.answer.len(), 2);
+        assert_eq!(server.snapshot().engine().stats().fragment_cache_hits, 2);
+    }
+
+    /// A reader pinned before a commit keeps answering from its own
+    /// version's fragments while the current snapshot re-fetches: the two
+    /// cache populations coexist, and neither sees the other's data.
+    #[test]
+    fn pinned_reader_keeps_stale_fragments_without_polluting_current() {
+        let (g, schema) = fixture();
+        let server = Server::new(g, &schema);
+        let request = year_movie_actor_query(server.snapshot().graph(), 2012);
+
+        let pinned = server.snapshot();
+        pinned.execute(&request).unwrap(); // fragment cached at v0
+        let next = server.snapshot().graph().node_count() as u32;
+        server
+            .commit(&[
+                Update::AddNode {
+                    label: "movie".into(),
+                    value: Value::str("Gravity"),
+                },
+                Update::AddEdge {
+                    src: NodeId(0),
+                    dst: NodeId(next),
+                },
+            ])
+            .unwrap();
+
+        // The pinned reader's repeat is a hit on the v0 fragment and still
+        // sees the old answer; the current snapshot computes the new one.
+        let old = pinned.execute(&request).unwrap();
+        assert_eq!(old.answer.len(), 1);
+        assert_eq!(old.stats.snapshot_version, 0);
+        let new = server.execute(&request).unwrap();
+        assert_eq!(new.stats.snapshot_version, 1);
+        // Gravity has no actor yet, so the answer is still the Argo match —
+        // but it must come from a fresh v1 fetch, not the stale fragment.
+        assert_eq!(new.answer.len(), 1);
+        assert_ne!(
+            new.stats.fragment_cache,
+            Some(bgpq_engine::CacheOutcome::Hit),
+            "v1 must not be served the v0 fragment"
+        );
+    }
+
+    /// The satellite regression at the serving level: after N commits, the
+    /// current version's repeated queries must keep hitting the fragment
+    /// cache — stale-version leftovers are evicted first, so version churn
+    /// cannot collapse the current working set's hit rate.
+    #[test]
+    fn current_version_fragment_hit_rate_survives_commits() {
+        let (g, schema) = fixture();
+        let server = Server::new(g, &schema);
+        let request = year_movie_actor_query(server.snapshot().graph(), 2012);
+        for _ in 0..5 {
+            // Warm the fragment at the current version, then commit.
+            server.execute(&request).unwrap();
+            server
+                .commit(&[Update::AddNode {
+                    label: "year".into(),
+                    value: Value::Int(1900),
+                }])
+                .unwrap();
+        }
+        // At the final version: one warming miss, then only hits.
+        server.execute(&request).unwrap();
+        let stats_before = server.snapshot().engine().stats();
+        for _ in 0..3 {
+            let r = server.execute(&request).unwrap();
+            assert_eq!(r.stats.fragment_cache, Some(bgpq_engine::CacheOutcome::Hit));
+        }
+        let stats = server.snapshot().engine().stats();
+        assert_eq!(
+            stats.fragment_cache_hits,
+            stats_before.fragment_cache_hits + 3
+        );
+        assert_eq!(
+            stats.fragment_cache_invalidations, 5,
+            "each commit's re-fetch retires exactly the superseded fragment"
+        );
     }
 
     #[test]

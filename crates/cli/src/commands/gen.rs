@@ -2,9 +2,9 @@
 
 use crate::args::Args;
 use crate::dataset::Format;
-use crate::scenario::{generate, Scenario, ScenarioConfig};
+use crate::scenario::{generate_with, text_header, Record, Scenario, ScenarioConfig};
 use std::error::Error;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 const USAGE: &str =
@@ -61,32 +61,69 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         },
     };
 
-    let dataset = generate(scenario, &config);
-    let rendered = match format {
-        Format::Jsonl => dataset.to_jsonl(),
-        _ => dataset.to_text(),
+    // Records are streamed straight to the sink as the generator produces
+    // them — neither the record stream nor the rendered dataset is ever
+    // buffered in memory, so --scale is bounded by disk, not RAM.
+    let mut file_sink: Option<BufWriter<std::fs::File>> = match out_path {
+        Some(path) => Some(BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?,
+        )),
+        None => None,
     };
-    let nodes = dataset
-        .records()
-        .iter()
-        .filter(|r| matches!(r, crate::scenario::Record::Node { .. }))
-        .count();
-    let edge_records = dataset.records().len() - nodes;
-    match out_path {
-        Some(path) => {
-            std::fs::write(path, rendered)?;
-            writeln!(
-                out,
-                "generated {} dataset (scale {}, seed {}): {} nodes, {} edge records -> {} ({format})",
-                scenario,
-                config.scale,
-                config.seed,
-                nodes,
-                edge_records,
-                path.display()
-            )?;
+    let sink: &mut dyn Write = match file_sink.as_mut() {
+        Some(w) => w,
+        None => out,
+    };
+
+    let mut write_error: Option<std::io::Error> = None;
+    let mut nodes = 0usize;
+    let mut edge_records = 0usize;
+    let mut line = String::new();
+    if matches!(format, Format::Text) {
+        if let Err(e) = sink.write_all(text_header(scenario, &config).as_bytes()) {
+            write_error = Some(e);
         }
-        None => out.write_all(rendered.as_bytes())?,
+    }
+    generate_with(scenario, &config, |record| {
+        match record {
+            Record::Node { .. } => nodes += 1,
+            Record::Edge { .. } => edge_records += 1,
+        }
+        if write_error.is_some() {
+            return;
+        }
+        line.clear();
+        match format {
+            Format::Jsonl => record.render_jsonl(&mut line),
+            _ => record.render_text(&mut line),
+        }
+        if let Err(e) = sink.write_all(line.as_bytes()) {
+            write_error = Some(e);
+        }
+    });
+    if write_error.is_none() {
+        if let Err(e) = sink.flush() {
+            write_error = Some(e);
+        }
+    }
+    if let Some(e) = write_error {
+        return Err(match out_path {
+            Some(path) => format!("{}: {e}", path.display()).into(),
+            None => e.into(),
+        });
+    }
+    drop(file_sink);
+    if let Some(path) = out_path {
+        writeln!(
+            out,
+            "generated {} dataset (scale {}, seed {}): {} nodes, {} edge records -> {} ({format})",
+            scenario,
+            config.scale,
+            config.seed,
+            nodes,
+            edge_records,
+            path.display()
+        )?;
     }
     Ok(())
 }

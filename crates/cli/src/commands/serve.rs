@@ -1,6 +1,8 @@
 //! `bgpq serve` — expose a dataset over the TCP wire protocol.
 
-use super::{dataset_source, discovery_config, DISCOVERY_FLAGS, SIMPLE_SWITCH};
+use super::{
+    dataset_source, discovery_config, shard_config, DISCOVERY_FLAGS, SHARD_FLAGS, SIMPLE_SWITCH,
+};
 use crate::args::Args;
 use crate::dataset::{default_edge_label, load_dataset_full, load_or_discover_schema};
 use bgpq_engine::BudgetPolicy;
@@ -16,6 +18,7 @@ const USAGE: &str = "USAGE: bgpq serve <dataset|--snapshot FILE> [--host ADDR] [
                      [--workers N] [--max-in-flight N] [--read-timeout-ms N]
                      [--max-frame-bytes N] [--steps-per-ms N] [--name ID]
                      [--drain-after-ms N] [--schema FILE] [discovery flags]
+                     [--partitions N] [--threads N] [--scheme hash|label-range]
                      [--format text|jsonl|edges|snapshot] [--label NAME]
 
 Loads the dataset into the epoch-versioned server and listens for bgpq-net
@@ -46,6 +49,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         "name",
         "drain-after-ms",
     ];
+    value_flags.extend_from_slice(&SHARD_FLAGS);
     value_flags.extend_from_slice(&DISCOVERY_FLAGS);
     let args = Args::parse(argv, &value_flags, &[SIMPLE_SWITCH, "help"])?;
     if args.switch("help") {
@@ -94,7 +98,10 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         }
     };
     let (nodes, edges) = (graph.live_node_count(), graph.edge_count());
-    let server = Server::with_indices(graph, indices);
+    let mut server = Server::with_indices(graph, indices);
+    if let Some(config) = shard_config(&args)? {
+        server = server.with_shard_config(config);
+    }
 
     let config = NetServerConfig {
         addr: format!("{host}:{port}"),

@@ -122,6 +122,61 @@ pub enum Record {
     },
 }
 
+impl Record {
+    /// Appends this record's `n`/`e` text line (the shape
+    /// `bgpq-graph::io::read_graph` parses) to `out`.
+    pub fn render_text(&self, out: &mut String) {
+        match self {
+            Record::Node { id, label, value } => match format_value(value) {
+                None => out.push_str(&format!("n\t{id}\t{label}\n")),
+                Some(token) => out.push_str(&format!("n\t{id}\t{label}\t{token}\n")),
+            },
+            Record::Edge { src, dst } => out.push_str(&format!("e\t{src}\t{dst}\n")),
+        }
+    }
+
+    /// Appends this record's JSON line (the shape
+    /// `bgpq-graph::io::read_jsonl` parses) to `out`.
+    pub fn render_jsonl(&self, out: &mut String) {
+        match self {
+            Record::Node { id, label, value } => {
+                out.push_str(&format!("{{\"type\":\"node\",\"id\":{id},\"label\":"));
+                write_json_string(out, label);
+                match value {
+                    Value::Null => {}
+                    Value::Bool(b) => out.push_str(&format!(",\"value\":{b}")),
+                    Value::Int(i) => out.push_str(&format!(",\"value\":{i}")),
+                    Value::Float(x) => {
+                        let token =
+                            json_float_token(*x).expect("generators only produce finite floats");
+                        out.push_str(",\"value\":");
+                        out.push_str(&token);
+                    }
+                    Value::Str(s) => {
+                        out.push_str(",\"value\":");
+                        write_json_string(out, s);
+                    }
+                }
+                out.push_str("}\n");
+            }
+            Record::Edge { src, dst } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"edge\",\"src\":{src},\"dst\":{dst}}}\n"
+                ));
+            }
+        }
+    }
+}
+
+/// The `# bgpq scenario dataset: ...` comment line text-format outputs
+/// start with (loaders skip `#` lines).
+pub fn text_header(scenario: Scenario, config: &ScenarioConfig) -> String {
+    format!(
+        "# bgpq scenario dataset: {} (scale {}, seed {})\n",
+        scenario, config.scale, config.seed
+    )
+}
+
 /// A generated dataset: the scenario it came from and its record stream.
 #[derive(Debug, Clone)]
 pub struct Dataset {
@@ -185,19 +240,9 @@ impl Dataset {
     /// Renders the dataset in the `n`/`e` text format (tab-separated), the
     /// shape `bgpq-graph::io::read_graph` parses.
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "# bgpq scenario dataset: {} (scale {}, seed {})\n",
-            self.scenario, self.config.scale, self.config.seed
-        ));
+        let mut out = text_header(self.scenario, &self.config);
         for record in &self.records {
-            match record {
-                Record::Node { id, label, value } => match format_value(value) {
-                    None => out.push_str(&format!("n\t{id}\t{label}\n")),
-                    Some(token) => out.push_str(&format!("n\t{id}\t{label}\t{token}\n")),
-                },
-                Record::Edge { src, dst } => out.push_str(&format!("e\t{src}\t{dst}\n")),
-            }
+            record.render_text(&mut out);
         }
         out
     }
@@ -207,33 +252,7 @@ impl Dataset {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for record in &self.records {
-            match record {
-                Record::Node { id, label, value } => {
-                    out.push_str(&format!("{{\"type\":\"node\",\"id\":{id},\"label\":"));
-                    write_json_string(&mut out, label);
-                    match value {
-                        Value::Null => {}
-                        Value::Bool(b) => out.push_str(&format!(",\"value\":{b}")),
-                        Value::Int(i) => out.push_str(&format!(",\"value\":{i}")),
-                        Value::Float(x) => {
-                            let token = json_float_token(*x)
-                                .expect("generators only produce finite floats");
-                            out.push_str(",\"value\":");
-                            out.push_str(&token);
-                        }
-                        Value::Str(s) => {
-                            out.push_str(",\"value\":");
-                            write_json_string(&mut out, s);
-                        }
-                    }
-                    out.push_str("}\n");
-                }
-                Record::Edge { src, dst } => {
-                    out.push_str(&format!(
-                        "{{\"type\":\"edge\",\"src\":{src},\"dst\":{dst}}}\n"
-                    ));
-                }
-            }
+            record.render_jsonl(&mut out);
         }
         out
     }
@@ -292,12 +311,27 @@ pub fn same_graph(a: &Graph, b: &Graph) -> Result<(), String> {
     Ok(())
 }
 
-/// Generates a dataset for `scenario` under `config`. Fully deterministic:
-/// the record stream is a function of `(scenario, scale, seed)`.
+/// Generates a dataset for `scenario` under `config`, buffering the record
+/// stream. Fully deterministic: the record stream is a function of
+/// `(scenario, scale, seed)`.
 pub fn generate(scenario: Scenario, config: &ScenarioConfig) -> Dataset {
+    let mut records = Vec::new();
+    generate_with(scenario, config, |record| records.push(record));
+    Dataset {
+        scenario,
+        config: config.clone(),
+        records,
+    }
+}
+
+/// Streams the record stream of `scenario` under `config` through `emit`,
+/// one record at a time and in the exact order [`generate`] buffers them —
+/// nothing is retained between calls, so `bgpq gen --scale N` can write
+/// arbitrarily large datasets in constant memory.
+pub fn generate_with<F: FnMut(Record)>(scenario: Scenario, config: &ScenarioConfig, mut emit: F) {
     let mut gen = Generator {
         rng: DetRng::seed_from_u64(config.seed ^ (scenario as u64) << 32),
-        records: Vec::new(),
+        emit: &mut emit,
         next_id: 0,
     };
     match scenario {
@@ -305,29 +339,24 @@ pub fn generate(scenario: Scenario, config: &ScenarioConfig) -> Dataset {
         Scenario::Citation => gen.citation(config.scale.max(2)),
         Scenario::ProductCatalog => gen.product_catalog(config.scale.max(2)),
     }
-    Dataset {
-        scenario,
-        config: config.clone(),
-        records: gen.records,
-    }
 }
 
-struct Generator {
+struct Generator<'a> {
     rng: DetRng,
-    records: Vec<Record>,
+    emit: &'a mut dyn FnMut(Record),
     next_id: u64,
 }
 
-impl Generator {
+impl Generator<'_> {
     fn node(&mut self, label: &'static str, value: Value) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.records.push(Record::Node { id, label, value });
+        (self.emit)(Record::Node { id, label, value });
         id
     }
 
     fn edge(&mut self, src: u64, dst: u64) {
-        self.records.push(Record::Edge { src, dst });
+        (self.emit)(Record::Edge { src, dst });
     }
 
     /// A draw over `0..n` skewed towards small indices (minimum of three
@@ -552,6 +581,25 @@ mod tests {
             max_out <= 6,
             "citation out-degree should stay flat, got {max_out}"
         );
+    }
+
+    #[test]
+    fn streaming_render_matches_buffered_render() {
+        let config = ScenarioConfig { scale: 60, seed: 9 };
+        for scenario in Scenario::ALL {
+            let dataset = generate(scenario, &config);
+            let mut text = text_header(scenario, &config);
+            let mut jsonl = String::new();
+            let mut count = 0usize;
+            generate_with(scenario, &config, |record| {
+                record.render_text(&mut text);
+                record.render_jsonl(&mut jsonl);
+                count += 1;
+            });
+            assert_eq!(count, dataset.records().len(), "{scenario} record count");
+            assert_eq!(text, dataset.to_text(), "{scenario} text drifted");
+            assert_eq!(jsonl, dataset.to_jsonl(), "{scenario} jsonl drifted");
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use crate::plan::QueryPlan;
 use bgpq_access::{AccessIndexSet, ConstraintId, ConstraintIndex};
+use bgpq_graph::bitset::{dedup_with_bitset, NodeBitSet};
 use bgpq_graph::{Graph, NodeId, Subgraph};
 use bgpq_matching::seed::for_each_combination;
 use bgpq_pattern::Pattern;
@@ -214,6 +215,10 @@ pub fn fetch_candidate_sets(
     let n = pattern.node_count();
     let mut candidates: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut stats = FetchStats::default();
+    // Via-combinations over overlapping lookups return heavily duplicated
+    // unions; a bitmap membership pass drops the repeats in O(n) before the
+    // (now much smaller) sort. Reused across steps to amortize its words.
+    let mut seen = NodeBitSet::with_capacity(graph.node_count());
 
     for step in &plan.steps {
         let index = indices
@@ -228,8 +233,8 @@ pub fn fetch_candidate_sets(
             });
         }
         stats.nodes_returned += fetched.len() as u64;
+        dedup_with_bitset(&mut fetched, &mut seen);
         fetched.sort_unstable();
-        fetched.dedup();
         let before_filter = fetched.len();
         fetched.retain(|&v| pattern.predicate(step.node).eval(graph.value(v)));
         stats.predicate_filtered += (before_filter - fetched.len()) as u64;
@@ -238,8 +243,8 @@ pub fn fetch_candidate_sets(
 
     let all_nodes: Vec<NodeId> = {
         let mut v: Vec<NodeId> = candidates.iter().flatten().copied().collect();
+        dedup_with_bitset(&mut v, &mut seen);
         v.sort_unstable();
-        v.dedup();
         v
     };
     stats.fragment_build_nanos = started.elapsed().as_nanos() as u64;

@@ -14,10 +14,11 @@
 use bgpq_engine::{
     discover_schema, load_snapshot, opt_subgraph_match, save_snapshot, AccessConstraint,
     AccessIndexSet, AccessSchema, CacheOutcome, DiscoveryConfig, Engine, Graph, GraphBuilder,
-    QueryRequest, StrategyKind, SubgraphMatcher,
+    QueryRequest, ShardConfig, StrategyKind, SubgraphMatcher,
 };
+use bgpq_graph::bitset::dedup_with_bitset;
 use bgpq_graph::io::{load_graph, load_graph_snapshot, load_jsonl, save_graph_snapshot};
-use bgpq_graph::Value;
+use bgpq_graph::{NodeBitSet, NodeId, Value};
 use bgpq_pattern::{Pattern, PatternBuilder, Predicate};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -41,6 +42,18 @@ struct BenchConfig {
     /// Exit non-zero when the fragment-cache hit speedup (uncached bVF2
     /// latency over cache-hit latency on the hot query) falls below this.
     min_fragment_hit_speedup: Option<f64>,
+    /// Shard count of the partitioned comparison.
+    partitions: usize,
+    /// Worker threads of the partitioned comparison.
+    threads: usize,
+    /// Exit non-zero when the bitmap-dedup speedup over the sorted-vec
+    /// baseline falls below this (1.0 = "no worse than sorting the raw
+    /// union").
+    min_bitmap_speedup: Option<f64>,
+    /// Exit non-zero when partitioned speedup *per effective worker*
+    /// (`speedup / min(threads, cores)`) falls below this — the scaling
+    /// gate a 1-core CI runner can still enforce meaningfully.
+    min_parallel_per_core: Option<f64>,
 }
 
 impl BenchConfig {
@@ -57,6 +70,10 @@ impl BenchConfig {
                 min_speedup: None,
                 min_load_speedup: None,
                 min_fragment_hit_speedup: None,
+                partitions: 4,
+                threads: 2,
+                min_bitmap_speedup: None,
+                min_parallel_per_core: None,
             }
         } else {
             BenchConfig {
@@ -67,6 +84,10 @@ impl BenchConfig {
                 min_speedup: None,
                 min_load_speedup: None,
                 min_fragment_hit_speedup: None,
+                partitions: 4,
+                threads: 2,
+                min_bitmap_speedup: None,
+                min_parallel_per_core: None,
             }
         };
         let mut it = args.iter();
@@ -97,11 +118,26 @@ impl BenchConfig {
                     config.min_fragment_hit_speedup =
                         Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
                 }
+                "--partitions" => config.partitions = parse_num(&value_for("--partitions")?)?,
+                "--threads" => config.threads = parse_num(&value_for("--threads")?)?,
+                "--min-bitmap-speedup" => {
+                    let raw = value_for("--min-bitmap-speedup")?;
+                    config.min_bitmap_speedup =
+                        Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
+                }
+                "--min-parallel-per-core" => {
+                    let raw = value_for("--min-parallel-per-core")?;
+                    config.min_parallel_per_core =
+                        Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
         if config.queries == 0 || config.rounds == 0 {
             return Err("--queries and --rounds must be positive".into());
+        }
+        if config.partitions == 0 || config.threads == 0 {
+            return Err("--partitions and --threads must be positive".into());
         }
         Ok(config)
     }
@@ -306,6 +342,160 @@ fn bench_batch(engine: &Engine, queries: &[Pattern], reps: usize) -> BatchBench 
     }
 }
 
+/// What the partitioned-execution comparison measured.
+struct PartitionedBench {
+    serial: Timing,
+    parallel: Timing,
+    partitions: usize,
+    threads: usize,
+}
+
+impl PartitionedBench {
+    fn speedup(&self) -> f64 {
+        self.serial.avg_micros() / self.parallel.avg_micros().max(0.001)
+    }
+
+    /// Speedup divided by the worker count the machine can actually run
+    /// concurrently. On a 1-core runner this degenerates to plain speedup,
+    /// so a gate like 0.5 still means "partitioning costs at most 2x" —
+    /// per-core throughput stays checkable without real parallelism.
+    fn per_core_speedup(&self, cores: usize) -> f64 {
+        self.speedup() / self.threads.min(cores.max(1)) as f64
+    }
+}
+
+/// Times the workload on a serial engine against an engine with a shard
+/// runtime attached (per-partition candidate fetch + parallel bVF2), both
+/// with the fragment cache disabled so every run does real fetch + match
+/// work. Answers are asserted identical — the merge-determinism guarantee,
+/// measured rather than assumed.
+fn bench_partitioned(
+    engine: &Engine,
+    queries: &[Pattern],
+    reps: usize,
+    partitions: usize,
+    threads: usize,
+) -> PartitionedBench {
+    let serial_engine = Engine::with_indices(engine.graph().clone(), engine.indices().clone())
+        .with_fragment_cache_capacity(0);
+    let parallel_engine = Engine::with_indices(engine.graph().clone(), engine.indices().clone())
+        .with_fragment_cache_capacity(0)
+        .with_sharding(ShardConfig::new(partitions, threads));
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| {
+            QueryRequest::build(q.clone())
+                .strategy(StrategyKind::Bounded)
+                .finish()
+        })
+        .collect();
+    // Untimed warm pass populating both plan caches; answer identity is
+    // checked here, outside the timed region.
+    for request in &requests {
+        let serial = serial_engine.execute(request).expect("bounded");
+        let parallel = parallel_engine.execute(request).expect("bounded");
+        assert_eq!(
+            serial.answer, parallel.answer,
+            "partitioned execution diverged from serial"
+        );
+    }
+
+    let mut serial = Timing::default();
+    let mut parallel = Timing::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut answers = 0usize;
+        for request in &requests {
+            answers += serial_engine
+                .execute(request)
+                .expect("bounded")
+                .answer
+                .len();
+        }
+        serial.record(t.elapsed().as_nanos(), answers);
+
+        let t = Instant::now();
+        let mut answers = 0usize;
+        for request in &requests {
+            answers += parallel_engine
+                .execute(request)
+                .expect("bounded")
+                .answer
+                .len();
+        }
+        parallel.record(t.elapsed().as_nanos(), answers);
+    }
+    assert_eq!(serial.answers, parallel.answers, "answer counts diverged");
+    PartitionedBench {
+        serial,
+        parallel,
+        partitions,
+        threads,
+    }
+}
+
+/// What the bitmap-vs-sorted-vec dedup comparison measured.
+struct BitmapBench {
+    sorted_vec: Timing,
+    bitmap: Timing,
+    union_len: usize,
+    unique: usize,
+}
+
+impl BitmapBench {
+    fn speedup(&self) -> f64 {
+        self.sorted_vec.avg_micros() / self.bitmap.avg_micros().max(0.001)
+    }
+}
+
+/// Times the candidate-fetch dedup strategies head to head on the union
+/// shape `fetch_candidate_sets` actually sees: the concatenation of every
+/// (year, award) key side's neighbor list, where each movie appears once
+/// per incident key. The baseline sorts the raw duplicated union and
+/// `dedup()`s; the bitmap path drops repeats in O(n) first and sorts only
+/// the survivors.
+fn bench_bitmap_dedup(graph: &Graph, reps: usize) -> BitmapBench {
+    let mut union_template: Vec<NodeId> = Vec::new();
+    for label in ["year", "award"] {
+        let id = graph.interner().get(label).expect("bench label exists");
+        for &key in graph.nodes_with_label(id) {
+            union_template.extend_from_slice(graph.out_neighbors(key));
+        }
+    }
+    let mut seen = NodeBitSet::with_capacity(graph.node_count());
+
+    let mut sorted_vec = Timing::default();
+    let mut bitmap = Timing::default();
+    let mut baseline: Vec<NodeId> = Vec::new();
+    for rep in 0..reps.max(10) {
+        let mut v = union_template.clone();
+        let t = Instant::now();
+        v.sort_unstable();
+        v.dedup();
+        sorted_vec.record(t.elapsed().as_nanos(), v.len());
+        if rep == 0 {
+            baseline = v.clone();
+        }
+        std::hint::black_box(&v);
+
+        let mut v = union_template.clone();
+        let t = Instant::now();
+        dedup_with_bitset(&mut v, &mut seen);
+        v.sort_unstable();
+        bitmap.record(t.elapsed().as_nanos(), v.len());
+        if rep == 0 {
+            assert_eq!(v, baseline, "bitmap dedup diverged from sort+dedup");
+        }
+        std::hint::black_box(&v);
+    }
+    BitmapBench {
+        sorted_vec,
+        bitmap,
+        union_len: union_template.len(),
+        unique: baseline.len(),
+    }
+}
+
 /// The query family: award-winning movies of a given year, with their
 /// actors and the actors' countries. Distinct years give distinct patterns
 /// (distinct fingerprints); repeating a year exercises the plan cache.
@@ -447,8 +637,9 @@ fn main() {
             eprintln!("bench: {e}");
             eprintln!(
                 "usage: bench [--smoke] [--movies N] [--queries K] [--rounds R] \
-                 [--out PATH] [--min-speedup X] [--min-load-speedup X] \
-                 [--min-fragment-hit-speedup X]"
+                 [--partitions P] [--threads T] [--out PATH] [--min-speedup X] \
+                 [--min-load-speedup X] [--min-fragment-hit-speedup X] \
+                 [--min-bitmap-speedup X] [--min-parallel-per-core X]"
             );
             std::process::exit(2);
         }
@@ -538,6 +729,36 @@ fn main() {
         batch.lookups_deduped
     );
 
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let partitioned = bench_partitioned(
+        &engine,
+        &queries,
+        config.rounds.max(3),
+        config.partitions,
+        config.threads,
+    );
+    println!(
+        "partitioned: serial {:.1} us vs {} shards / {} threads {:.1} us per workload pass \
+         ({:.2}x, {:.2}x per effective worker on {} cores), answers identical",
+        partitioned.serial.avg_micros(),
+        partitioned.partitions,
+        partitioned.threads,
+        partitioned.parallel.avg_micros(),
+        partitioned.speedup(),
+        partitioned.per_core_speedup(cores),
+        cores
+    );
+    let bitmap = bench_bitmap_dedup(engine.graph(), config.rounds * config.queries);
+    println!(
+        "bitmap dedup: sort+dedup {:.1} us vs bitmap {:.1} us ({:.2}x) on a \
+         {}-entry union ({} unique)",
+        bitmap.sorted_vec.avg_micros(),
+        bitmap.bitmap.avg_micros(),
+        bitmap.speedup(),
+        bitmap.union_len,
+        bitmap.unique
+    );
+
     let loads = bench_snapshot_loads(15);
     for l in &loads {
         println!(
@@ -565,7 +786,6 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let stats = engine.stats();
     let graph_nodes = engine.graph().node_count() as f64;
@@ -576,11 +796,13 @@ fn main() {
     let vf2_over_bvf2 = vf2.avg_micros() / bounded.avg_micros().max(0.001);
     let report = format!
 (
-        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}, \"cores\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"bvf2_breakdown\": {{\"fragment_build_us\": {:.1}, \"match_us\": {:.1}}},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"fragment_cache\": {{\"uncached_us\": {:.1}, \"hit_us\": {:.1}, \"hit_speedup\": {:.2}, \"lookups_per_miss\": {}, \"fragment_nodes\": {}}},\n  \"batch\": {{\"sequential_us\": {:.1}, \"batch_us\": {:.1}, \"lookups_sequential\": {}, \"lookups_batched\": {}, \"lookups_deduped\": {}}},\n  \"snapshot_load\": {{\n{}\n  }},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
+        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}, \"cores\": {}, \"partitions\": {}, \"threads\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"bvf2_breakdown\": {{\"fragment_build_us\": {:.1}, \"match_us\": {:.1}}},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"fragment_cache\": {{\"uncached_us\": {:.1}, \"hit_us\": {:.1}, \"hit_speedup\": {:.2}, \"lookups_per_miss\": {}, \"fragment_nodes\": {}}},\n  \"batch\": {{\"sequential_us\": {:.1}, \"batch_us\": {:.1}, \"lookups_sequential\": {}, \"lookups_batched\": {}, \"lookups_deduped\": {}}},\n  \"partitioned\": {{\"partitions\": {}, \"threads\": {}, \"serial_us\": {:.1}, \"parallel_us\": {:.1}, \"speedup\": {:.2}, \"per_core_speedup\": {:.2}}},\n  \"bitmap_dedup\": {{\"sorted_vec_us\": {:.1}, \"bitmap_us\": {:.1}, \"speedup\": {:.2}, \"union_len\": {}, \"unique\": {}}},\n  \"snapshot_load\": {{\n{}\n  }},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
         config.movies,
         config.queries,
         config.rounds,
         cores,
+        config.partitions,
+        config.threads,
         engine.graph().node_count(),
         engine.graph().edge_count(),
         json_entry("vf2", &vf2),
@@ -603,6 +825,17 @@ fn main() {
         batch.lookups_sequential,
         batch.lookups_batched,
         batch.lookups_deduped,
+        partitioned.partitions,
+        partitioned.threads,
+        partitioned.serial.avg_micros(),
+        partitioned.parallel.avg_micros(),
+        partitioned.speedup(),
+        partitioned.per_core_speedup(cores),
+        bitmap.sorted_vec.avg_micros(),
+        bitmap.bitmap.avg_micros(),
+        bitmap.speedup(),
+        bitmap.union_len,
+        bitmap.unique,
         snapshot_load_json,
         vf2_over_bvf2,
         opt.avg_micros() / bounded.avg_micros().max(0.001),
@@ -638,6 +871,30 @@ fn main() {
             std::process::exit(1);
         }
         println!("bench: fragment-cache hit gate passed ({speedup:.2} >= {min:.2})");
+    }
+    if let Some(min) = config.min_bitmap_speedup {
+        let speedup = bitmap.speedup();
+        if speedup < min {
+            eprintln!(
+                "bench: REGRESSION — bitmap_dedup.speedup = {speedup:.2} \
+                 is below the required minimum {min:.2}"
+            );
+            std::process::exit(1);
+        }
+        println!("bench: bitmap dedup gate passed ({speedup:.2} >= {min:.2})");
+    }
+    if let Some(min) = config.min_parallel_per_core {
+        let per_core = partitioned.per_core_speedup(cores);
+        if per_core < min {
+            eprintln!(
+                "bench: REGRESSION — partitioned.per_core_speedup = {per_core:.2} \
+                 is below the required minimum {min:.2} \
+                 ({} threads on {cores} cores)",
+                partitioned.threads
+            );
+            std::process::exit(1);
+        }
+        println!("bench: partitioned per-core gate passed ({per_core:.2} >= {min:.2})");
     }
     if let Some(min) = config.min_load_speedup {
         for l in &loads {

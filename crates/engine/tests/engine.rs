@@ -616,3 +616,50 @@ fn engine_equivalence_on_generated_workloads() {
     assert_eq!(bounded_runs, 10);
     assert_eq!(engine.stats().queries, 20);
 }
+
+/// Satellite of the sharding work: the engine's scratch pool is worker-aware
+/// and two concurrent bounded executions can never alias an arena. Every
+/// dedicated slot is held hostage by a worker thread for the whole duration
+/// of four concurrent bounded executions — `with_any` must hand each
+/// execution a distinct overflow arena (never block behind a busy slot,
+/// never share one), and every answer must equal the serial run.
+#[test]
+fn concurrent_bounded_executions_never_alias_an_arena() {
+    let engine = engine();
+    let q = movie_pattern(engine.graph(), 2011);
+    let serial = engine
+        .execute(&QueryRequest::build(q.clone()).finish())
+        .unwrap();
+    assert_eq!(serial.strategy, StrategyKind::Bounded);
+    assert!(!serial.answer.is_empty());
+
+    let pool = engine.arena_pool();
+    let workers = pool.workers();
+    let queries = 4;
+    let barrier = std::sync::Barrier::new(workers + queries);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let barrier = &barrier;
+            s.spawn(move || {
+                pool.with_worker(w, |_| {
+                    // Hold the slot across both barriers: busy for the
+                    // entire window in which the queries execute.
+                    barrier.wait();
+                    barrier.wait();
+                });
+            });
+        }
+        for _ in 0..queries {
+            let (engine, q, serial, barrier) = (&engine, &q, &serial, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                let r = engine
+                    .execute(&QueryRequest::build(q.clone()).finish())
+                    .unwrap();
+                assert_eq!(r.strategy, StrategyKind::Bounded);
+                assert_eq!(r.answer, serial.answer);
+                barrier.wait();
+            });
+        }
+    });
+}

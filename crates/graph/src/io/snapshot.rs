@@ -91,6 +91,9 @@ pub enum Section {
     Schema,
     /// Serialized access indices (written by `bgpq-access`).
     Indices,
+    /// Partition spec + per-shard index blobs (written by `bgpq-shard`).
+    /// Optional: readers without sharding support skip it.
+    Shards,
     /// A section id this build does not know (skipped when reading).
     Unknown(u32),
 }
@@ -108,6 +111,7 @@ impl Section {
             Section::LabelIndex => 6,
             Section::Schema => 7,
             Section::Indices => 8,
+            Section::Shards => 9,
             Section::Unknown(id) => id,
         }
     }
@@ -123,6 +127,7 @@ impl Section {
             6 => Section::LabelIndex,
             7 => Section::Schema,
             8 => Section::Indices,
+            9 => Section::Shards,
             other => Section::Unknown(other),
         }
     }
@@ -140,6 +145,7 @@ impl Section {
             Section::LabelIndex => "label-index".into(),
             Section::Schema => "schema".into(),
             Section::Indices => "indices".into(),
+            Section::Shards => "shards".into(),
             Section::Unknown(id) => format!("unknown section #{id}"),
         }
     }

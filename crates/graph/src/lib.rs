@@ -36,23 +36,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod builder;
 pub mod error;
 pub mod graph;
 pub mod io;
 pub mod label;
 pub mod label_index;
+pub mod pool;
 pub mod stats;
 pub mod subgraph;
 pub mod value;
 pub mod view;
 
+pub use bitset::NodeBitSet;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, NodeId};
 pub use io::snapshot::SnapshotError;
 pub use label::{Label, LabelInterner};
 pub use label_index::LabelIndex;
+pub use pool::ArenaPool;
 pub use stats::GraphStats;
 pub use subgraph::Subgraph;
 pub use value::Value;

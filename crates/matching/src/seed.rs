@@ -177,8 +177,11 @@ fn try_narrow(
         for_each_combination(&via, cand, &mut |key| {
             out.extend_from_slice(index.common_neighbors(key));
         });
+        // Combination unions repeat nodes heavily; a bitmap membership pass
+        // drops duplicates in O(n) before the much smaller sort.
+        let mut seen = bgpq_graph::NodeBitSet::with_capacity(graph.node_count());
+        bgpq_graph::bitset::dedup_with_bitset(&mut out, &mut seen);
         out.sort_unstable();
-        out.dedup();
         return Some(filter_by_predicate(pattern, graph, u, &out, stats));
     }
     None

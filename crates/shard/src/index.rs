@@ -1,0 +1,296 @@
+//! Per-partition access indices: [`ShardedIndexSet`].
+//!
+//! Each shard carries its own [`AccessIndexSet`] restricted to the targets
+//! it owns: every `(key → target)` index entry lives whole in the target's
+//! shard, so the union of the per-shard indices is *exactly* the single
+//! build — same entries, same answers, same truncation verdicts. That
+//! equality is what lets partitioned fetch answer queries by concatenating
+//! disjoint per-shard answers, and it is enforced both here and by the
+//! `merge_shards` tests in `bgpq-access`.
+//!
+//! Builds and incremental maintenance both fan out one worker per shard;
+//! ownership comes from the same [`PartitionSpec`] the shards were built
+//! with, so a maintained sharded set never drifts from a rebuilt one.
+
+use crate::partition::PartitionSpec;
+use crate::pool::parallel_map;
+use bgpq_access::{
+    apply_deltas_filtered, AccessIndexSet, AccessSchema, ConstraintId, GraphDelta,
+    MaintenanceStats, DEFAULT_MAX_COMBINATIONS_PER_NODE,
+};
+use bgpq_graph::{Graph, NodeId};
+
+/// One filtered [`AccessIndexSet`] per shard, all over the same schema.
+#[derive(Debug, Clone)]
+pub struct ShardedIndexSet {
+    spec: PartitionSpec,
+    shards: Vec<AccessIndexSet>,
+}
+
+/// The ownership predicate shard `p` closes over: live nodes belong to the
+/// shard the spec names; tombstoned slots are claimed by *every* shard so a
+/// deletion refreshes all of them (a no-op wherever the node contributed
+/// nothing).
+fn owns<'a>(graph: &'a Graph, spec: &'a PartitionSpec, p: u32) -> impl Fn(NodeId) -> bool + 'a {
+    move |v| !graph.is_live(v) || spec.shard_of(v, graph.label(v)) == p
+}
+
+impl ShardedIndexSet {
+    /// Builds the per-shard indices for `schema` in parallel on up to
+    /// `threads` workers, each restricted to the targets its shard owns.
+    pub fn build(
+        graph: &Graph,
+        schema: &AccessSchema,
+        spec: &PartitionSpec,
+        threads: usize,
+    ) -> Self {
+        Self::build_with_cap(
+            graph,
+            schema,
+            spec,
+            DEFAULT_MAX_COMBINATIONS_PER_NODE,
+            threads,
+        )
+    }
+
+    /// [`ShardedIndexSet::build`] with an explicit per-target combination cap.
+    pub fn build_with_cap(
+        graph: &Graph,
+        schema: &AccessSchema,
+        spec: &PartitionSpec,
+        cap: usize,
+        threads: usize,
+    ) -> Self {
+        let ids: Vec<u32> = (0..spec.partitions() as u32).collect();
+        let shards = parallel_map(threads, &ids, |_, &p| {
+            AccessIndexSet::build_filtered_with_cap(graph, schema, cap, owns(graph, spec, p))
+        });
+        ShardedIndexSet {
+            spec: spec.clone(),
+            shards,
+        }
+    }
+
+    /// Wraps already-built per-shard sets (used by snapshot load). The
+    /// caller asserts they were built under `spec`.
+    pub fn from_parts(spec: PartitionSpec, shards: Vec<AccessIndexSet>) -> Self {
+        assert_eq!(
+            spec.partitions(),
+            shards.len(),
+            "shard count must match the spec"
+        );
+        ShardedIndexSet { spec, shards }
+    }
+
+    /// The spec ownership is keyed on.
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// The per-shard index sets, in shard-id order.
+    pub fn shards(&self) -> &[AccessIndexSet] {
+        &self.shards
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Merges the per-shard sets into the exact single-build set.
+    pub fn merged(&self) -> AccessIndexSet {
+        AccessIndexSet::merge_shards(&self.shards)
+    }
+
+    /// The full answer for `key` under constraint `id`: the sorted
+    /// concatenation of the disjoint per-shard answers.
+    pub fn common_neighbors(&self, id: ConstraintId, key: &[NodeId]) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.get(id))
+            .flat_map(|ix| ix.common_neighbors(key).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether any shard's index for `id` hit its combination cap.
+    /// Per-target enumeration is identical to the single build, so this OR
+    /// equals the single-shard verdict.
+    pub fn is_truncated(&self, id: ConstraintId) -> bool {
+        self.shards
+            .iter()
+            .filter_map(|s| s.get(id))
+            .any(|ix| ix.is_truncated())
+    }
+
+    /// Applies a delta batch to every shard, one worker per shard (serial
+    /// when `threads <= 1`), each filtered to the nodes it owns.
+    /// `new_graph` must already reflect the deltas. Returns per-shard
+    /// maintenance stats, in shard order.
+    pub fn apply_deltas(
+        &mut self,
+        new_graph: &Graph,
+        deltas: &[GraphDelta],
+        threads: usize,
+    ) -> Vec<MaintenanceStats> {
+        let spec = self.spec.clone();
+        if threads <= 1 {
+            return self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(p, set)| {
+                    apply_deltas_filtered(set, new_graph, deltas, owns(new_graph, &spec, p as u32))
+                })
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(p, set)| {
+                    let spec = &spec;
+                    scope.spawn(move || {
+                        apply_deltas_filtered(
+                            set,
+                            new_graph,
+                            deltas,
+                            owns(new_graph, spec, p as u32),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard maintenance worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq_access::{apply_deltas, AccessConstraint};
+    use bgpq_graph::{GraphBuilder, Value};
+
+    /// Bipartite users → items graph with enough overlap that binary keys
+    /// get multi-node answers spread across shards.
+    fn toy() -> (Graph, AccessSchema) {
+        let mut b = GraphBuilder::new();
+        let users: Vec<_> = (0..12).map(|i| b.add_node("user", Value::Int(i))).collect();
+        let items: Vec<_> = (0..8).map(|i| b.add_node("item", Value::Int(i))).collect();
+        for (i, &u) in users.iter().enumerate() {
+            for (j, &t) in items.iter().enumerate() {
+                if (i + j) % 3 == 0 {
+                    b.add_edge(u, t).unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        let user = g.interner().get("user").unwrap();
+        let item = g.interner().get("item").unwrap();
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::global(user, 64),
+            AccessConstraint::unary(user, item, 64),
+            AccessConstraint::new([user, user], item, 64),
+        ]);
+        (g, schema)
+    }
+
+    #[test]
+    fn sharded_build_merges_to_the_single_build() {
+        let (g, schema) = toy();
+        let full = AccessIndexSet::build(&g, &schema);
+        for parts in [1, 2, 4] {
+            for threads in [1, 2] {
+                let spec = PartitionSpec::hash(parts);
+                let sharded = ShardedIndexSet::build(&g, &schema, &spec, threads);
+                assert_eq!(sharded.partition_count(), parts);
+                let merged = sharded.merged();
+                for (id, full_ix) in full.iter() {
+                    let m = merged.get(id).unwrap();
+                    assert_eq!(m.key_count(), full_ix.key_count(), "P={parts} T={threads}");
+                    assert_eq!(m.size(), full_ix.size(), "P={parts} T={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanned_out_lookups_equal_single_shard_lookups() {
+        let (g, schema) = toy();
+        let full = AccessIndexSet::build(&g, &schema);
+        let spec = PartitionSpec::hash(3);
+        let sharded = ShardedIndexSet::build(&g, &schema, &spec, 2);
+        let user = g.interner().get("user").unwrap();
+        let users: Vec<NodeId> = g.nodes_with_label(user).to_vec();
+        let lookup = |id: ConstraintId, key: &[NodeId]| {
+            (
+                full.get(id).unwrap().common_neighbors(key).to_vec(),
+                sharded.common_neighbors(id, key),
+            )
+        };
+        let (want, got) = lookup(ConstraintId(0), &[]);
+        assert_eq!(got, want, "global key");
+        for &u in &users {
+            let (want, got) = lookup(ConstraintId(1), &[u]);
+            assert_eq!(got, want, "unary key {u}");
+            for &w in &users {
+                if u < w {
+                    let (want, got) = lookup(ConstraintId(2), &[u, w]);
+                    assert_eq!(got, want, "binary key ({u}, {w})");
+                }
+            }
+        }
+        for (id, ix) in full.iter() {
+            assert_eq!(sharded.is_truncated(id), ix.is_truncated());
+        }
+    }
+
+    #[test]
+    fn per_shard_maintenance_tracks_the_full_rebuild() {
+        let (g, schema) = toy();
+        let spec = PartitionSpec::hash(3);
+        let mut sharded = ShardedIndexSet::build(&g, &schema, &spec, 2);
+        let mut full = AccessIndexSet::build(&g, &schema);
+
+        let user = g.interner().get("user").unwrap();
+        let item = g.interner().get("item").unwrap();
+        let users: Vec<NodeId> = g.nodes_with_label(user).to_vec();
+        let items: Vec<NodeId> = g.nodes_with_label(item).to_vec();
+
+        let mut g2 = g.clone();
+        let mut deltas = Vec::new();
+        g2.insert_edge(users[0], items[7]).unwrap();
+        deltas.push(GraphDelta::InsertEdge(users[0], items[7]));
+        for e in g2.delete_node(users[5]).unwrap() {
+            deltas.push(GraphDelta::DeleteEdge(e.src, e.dst));
+        }
+        deltas.push(GraphDelta::DeleteNode(users[5]));
+
+        let stats = sharded.apply_deltas(&g2, &deltas, 2);
+        assert_eq!(stats.len(), 3);
+        apply_deltas(&mut full, &g2, &deltas);
+
+        // Each maintained shard equals a fresh filtered rebuild...
+        let rebuilt = ShardedIndexSet::build(&g2, &schema, &spec, 2);
+        for (p, (maintained, fresh)) in sharded.shards().iter().zip(rebuilt.shards()).enumerate() {
+            for (id, fresh_ix) in fresh.iter() {
+                let m = maintained.get(id).unwrap();
+                assert_eq!(m.key_count(), fresh_ix.key_count(), "shard {p} drifted");
+                assert_eq!(m.size(), fresh_ix.size(), "shard {p} drifted");
+            }
+        }
+        // ...and fan-out lookups equal the maintained full set's.
+        for &u in g2.nodes_with_label(user) {
+            assert_eq!(
+                sharded.common_neighbors(ConstraintId(1), &[u]),
+                full.get(ConstraintId(1)).unwrap().common_neighbors(&[u])
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # bgpq-shard
+//!
+//! Partitioned graph shards and parallel bounded execution for the `bgpq`
+//! workspace, a reproduction of *"Making Pattern Queries Bounded in Big
+//! Graphs"* (Cao, Fan, Huai, Huang, ICDE 2015).
+//!
+//! Bounded evaluability makes the fragment `G_Q` small and independent of
+//! `|G|`, which means the expensive phases — index construction, candidate
+//! fetch, per-seed matching — partition cleanly over the data graph. This
+//! crate supplies that partitioning:
+//!
+//! * [`partition`] — [`PartitionSpec`]: the pure `node → shard` function
+//!   (hash over node ids by default, label-range optionally), shared by
+//!   build, maintenance and snapshot load so ownership never drifts;
+//! * [`shard`] — [`Shard`] (a partition's node set, label index and CSR
+//!   adjacency slice) and [`ShardedGraph`] (all shards plus the
+//!   cross-partition edge map), built in parallel;
+//! * [`index`] — [`ShardedIndexSet`]: one filtered
+//!   [`AccessIndexSet`](bgpq_access::AccessIndexSet) per shard, built in
+//!   parallel, mergeable into the exact single-shard set and maintainable
+//!   per shard under delta streams;
+//! * [`exec`] — the parallel bounded executors: candidate fetch fanning out
+//!   across shards, `bVF2` splitting a deterministic pivot's candidates
+//!   across workers, `bSim` on the merged fragment — all returning answers
+//!   byte-identical to the single-shard engine regardless of thread count;
+//! * [`pool`] — the dependency-free `std::thread::scope` work pool the
+//!   parallel phases run on;
+//! * [`runtime`] — [`ShardRuntime`]: the bundle (sharded graph, sharded
+//!   indices, arena pool, thread budget) a session engine attaches to turn
+//!   on partitioned execution;
+//! * [`snapshot`] — the `Shards` section of the `.bgpq` container:
+//!   partition spec plus independently-decodable per-shard index blobs, so
+//!   a snapshot is compiled once and loaded in parallel.
+//!
+//! **Determinism rule.** Every parallel phase merges through canonicalizing
+//! constructors (`MatchSet::new` sorts and dedups, candidate sets are
+//! sorted unions of disjoint per-shard answers, simulation relations are
+//! unique fixpoints), so the merged result is byte-identical to the serial
+//! one for every `(partitions, threads)` combination. Order-dependent
+//! requests (match/step budgets) run the serial path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod index;
+pub mod partition;
+pub mod pool;
+pub mod runtime;
+pub mod shard;
+pub mod snapshot;
+
+pub use exec::{
+    parallel_bounded_simulation_match_prefetched, parallel_bounded_subgraph_match_prefetched,
+    sharded_fetch_candidate_sets,
+};
+pub use index::ShardedIndexSet;
+pub use partition::PartitionSpec;
+pub use pool::parallel_map;
+pub use runtime::{PartitionScheme, ShardConfig, ShardRuntime};
+pub use shard::{CrossEdge, Shard, ShardedGraph};
+pub use snapshot::{
+    decode_shards_section, encode_shards_section, load_sharded_snapshot, save_sharded_snapshot,
+};

@@ -1,0 +1,179 @@
+//! The pure `node → shard` partitioning function.
+//!
+//! Everything sharded in this crate — shard builds, per-partition index
+//! builds, incremental maintenance, snapshot load — must agree on which
+//! shard owns a node, including after arbitrary delta streams. The spec is
+//! therefore a *pure function of the node id and its label*: no build-time
+//! state (degrees, orderings, load counters) may leak into the decision, or
+//! a maintained sharded index would drift from a rebuilt one.
+
+use bgpq_graph::{Graph, Label, NodeId};
+
+/// How a graph is split into `P` partitions.
+///
+/// * [`PartitionSpec::Hash`] — FNV-1a over the node id, modulo `P`. Label
+///   oblivious, always balanced to within hash noise; the default.
+/// * [`PartitionSpec::LabelRange`] — each label is pinned to one shard
+///   (balanced by label frequency at spec-construction time); nodes of
+///   unassigned labels fall back to the hash rule. Groups same-labeled
+///   nodes, so per-shard label indexes and global constraints stay local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionSpec {
+    /// Hash-over-node-ids partitioning.
+    Hash {
+        /// Number of partitions `P` (at least 1).
+        partitions: u32,
+    },
+    /// Label-range partitioning with a hash fallback for unseen labels.
+    LabelRange {
+        /// Number of partitions `P` (at least 1).
+        partitions: u32,
+        /// `label → shard` assignment, sorted by label id for binary search.
+        assignments: Vec<(Label, u32)>,
+    },
+}
+
+impl PartitionSpec {
+    /// The hash spec over `partitions` shards (at least one).
+    pub fn hash(partitions: usize) -> Self {
+        PartitionSpec::Hash {
+            partitions: partitions.max(1) as u32,
+        }
+    }
+
+    /// A label-range spec over `partitions` shards, balanced greedily by
+    /// the label histogram of `graph`: labels in decreasing frequency order
+    /// are pinned to the currently lightest shard.
+    pub fn label_range(graph: &Graph, partitions: usize) -> Self {
+        let partitions = partitions.max(1) as u32;
+        let mut histogram: Vec<(Label, usize)> = graph
+            .label_index()
+            .iter()
+            .map(|(label, nodes)| (label, nodes.len()))
+            .collect();
+        // Heaviest first; ties by label id so the spec is deterministic.
+        histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        let mut load = vec![0usize; partitions as usize];
+        let mut assignments: Vec<(Label, u32)> = Vec::with_capacity(histogram.len());
+        for (label, count) in histogram {
+            let lightest = (0..partitions).min_by_key(|&p| load[p as usize]).unwrap();
+            load[lightest as usize] += count;
+            assignments.push((label, lightest));
+        }
+        assignments.sort_by_key(|&(label, _)| label.0);
+        PartitionSpec::LabelRange {
+            partitions,
+            assignments,
+        }
+    }
+
+    /// Number of partitions `P`.
+    pub fn partitions(&self) -> usize {
+        match *self {
+            PartitionSpec::Hash { partitions } | PartitionSpec::LabelRange { partitions, .. } => {
+                partitions as usize
+            }
+        }
+    }
+
+    /// The shard owning a node: a pure function of `(node, label)`.
+    pub fn shard_of(&self, node: NodeId, label: Label) -> u32 {
+        match self {
+            PartitionSpec::Hash { partitions } => hash_shard(node, *partitions),
+            PartitionSpec::LabelRange {
+                partitions,
+                assignments,
+            } => match assignments.binary_search_by_key(&label.0, |&(l, _)| l.0) {
+                Ok(i) => assignments[i].1,
+                Err(_) => hash_shard(node, *partitions),
+            },
+        }
+    }
+
+    /// The on-disk discriminant of this spec kind (see [`crate::snapshot`]).
+    pub fn kind(&self) -> u8 {
+        match self {
+            PartitionSpec::Hash { .. } => 0,
+            PartitionSpec::LabelRange { .. } => 1,
+        }
+    }
+}
+
+/// FNV-1a over the node id's little-endian bytes, folded modulo `P`.
+fn hash_shard(node: NodeId, partitions: u32) -> u32 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in node.0.to_le_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % partitions as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq_graph::{GraphBuilder, Value};
+
+    fn toy() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..40 {
+            b.add_node("a", Value::Int(i));
+        }
+        for i in 0..10 {
+            b.add_node("b", Value::Int(i));
+        }
+        for i in 0..10 {
+            b.add_node("c", Value::Int(i));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn hash_spec_is_total_and_stable() {
+        let spec = PartitionSpec::hash(4);
+        assert_eq!(spec.partitions(), 4);
+        let g = toy();
+        for v in (0..g.node_count()).map(|i| NodeId(i as u32)) {
+            let s = spec.shard_of(v, g.label(v));
+            assert!(s < 4);
+            assert_eq!(s, spec.shard_of(v, g.label(v)), "must be pure");
+            // Hash partitioning ignores the label entirely.
+            assert_eq!(s, spec.shard_of(v, Label(999)));
+        }
+    }
+
+    #[test]
+    fn zero_partitions_clamps_to_one() {
+        assert_eq!(PartitionSpec::hash(0).partitions(), 1);
+        let g = toy();
+        assert_eq!(PartitionSpec::label_range(&g, 0).partitions(), 1);
+    }
+
+    #[test]
+    fn label_range_balances_by_histogram() {
+        let g = toy();
+        let spec = PartitionSpec::label_range(&g, 2);
+        let PartitionSpec::LabelRange {
+            ref assignments, ..
+        } = spec
+        else {
+            panic!("expected label-range spec");
+        };
+        assert_eq!(assignments.len(), 3);
+        // The heavy label `a` (40 nodes) sits alone; `b` and `c` share the
+        // other shard, so loads are 40 / 20, the best achievable split.
+        let la = g.interner().get("a").unwrap();
+        let lb = g.interner().get("b").unwrap();
+        let lc = g.interner().get("c").unwrap();
+        let shard_of_label =
+            |l: bgpq_graph::Label| assignments.iter().find(|&&(x, _)| x == l).unwrap().1;
+        assert_ne!(shard_of_label(la), shard_of_label(lb));
+        assert_eq!(shard_of_label(lb), shard_of_label(lc));
+        // Same-labeled nodes always share a shard.
+        for v in g.nodes_with_label(la) {
+            assert_eq!(spec.shard_of(*v, la), shard_of_label(la));
+        }
+        // Unknown labels fall back to the hash rule, still in range.
+        assert!(spec.shard_of(NodeId(7), Label(700)) < 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! The dependency-free parallel work pool.
+//!
+//! Every parallel phase of this crate — shard builds, per-partition index
+//! builds, fetch fan-out, pivot-split matching, snapshot load — runs on the
+//! same primitive: [`parallel_map`], a scoped fork-join over a slice with an
+//! atomic work cursor. `std::thread::scope` keeps it borrow-friendly (no
+//! `'static` bounds, no `Arc` plumbing) and dependency-free, like the rest
+//! of the workspace; workers pull indices from the shared cursor so skewed
+//! item costs self-balance.
+//!
+//! Results are returned **in item order** regardless of which worker
+//! computed what — parallelism here must never be observable in outputs
+//! (see the crate-level determinism rule).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning the
+/// results in item order. `f` receives `(index, item)`.
+///
+/// With `threads <= 1`, a single item, or an empty slice the map runs
+/// inline on the caller's thread — callers pick the thread budget, the
+/// pool never spawns speculatively.
+pub fn parallel_map<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunks = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        done.push((i, f(i, item)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (i, r) in chunks.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges of near-equal
+/// size (the first `len % parts` ranges one longer). Used to slice a pivot
+/// candidate set across workers: contiguous ranges of a sorted set keep
+/// each worker's slice sorted, and the concatenation is disjoint-complete.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_run_inline() {
+        let none: Vec<u32> = parallel_map(8, &[], |_, &x: &u32| x);
+        assert!(none.is_empty());
+        assert_eq!(parallel_map(8, &[41], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for (len, parts) in [(10, 3), (3, 10), (0, 4), (16, 4), (1, 1)] {
+            let ranges = split_ranges(len, parts);
+            assert!(ranges.len() <= parts.max(1));
+            let mut expect = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect);
+                expect = r.end;
+            }
+            assert_eq!(expect, len, "ranges must cover 0..{len}");
+        }
+    }
+}

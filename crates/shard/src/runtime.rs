@@ -1,0 +1,260 @@
+//! The bundle a session engine attaches to turn on partitioned execution.
+//!
+//! [`ShardRuntime`] owns everything the parallel path needs — the
+//! [`ShardedGraph`], the per-partition [`ShardedIndexSet`], a worker-pinned
+//! [`ArenaPool`] and the thread budget — behind one handle, so the engine
+//! keeps its serial fields untouched and merely consults the runtime when a
+//! request is eligible for the parallel path. [`ShardConfig`] is the
+//! user-facing knob set (`--partitions` / `--threads` on the CLI).
+
+use crate::index::ShardedIndexSet;
+use crate::partition::PartitionSpec;
+use crate::shard::ShardedGraph;
+use bgpq_access::{AccessIndexSet, AccessSchema, GraphDelta, MaintenanceStats};
+use bgpq_graph::{ArenaPool, Graph};
+
+/// Which [`PartitionSpec`] family to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionScheme {
+    /// FNV-1a over node ids — label oblivious, balanced, the default.
+    #[default]
+    Hash,
+    /// Labels pinned to shards, balanced by the label histogram.
+    LabelRange,
+}
+
+impl std::str::FromStr for PartitionScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hash" => Ok(PartitionScheme::Hash),
+            "label-range" | "label_range" => Ok(PartitionScheme::LabelRange),
+            other => Err(format!(
+                "unknown partition scheme '{other}' (expected 'hash' or 'label-range')"
+            )),
+        }
+    }
+}
+
+/// User-facing partitioned-execution knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of partitions `P` (clamped to at least 1).
+    pub partitions: usize,
+    /// Worker-thread budget for every parallel phase (clamped to at
+    /// least 1; `1` means serial execution on shard-partitioned state).
+    pub threads: usize,
+    /// Partitioning family.
+    pub scheme: PartitionScheme,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            partitions: 1,
+            threads: 1,
+            scheme: PartitionScheme::Hash,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// A hash-partitioned config with `partitions` shards and `threads`
+    /// workers.
+    pub fn new(partitions: usize, threads: usize) -> Self {
+        ShardConfig {
+            partitions: partitions.max(1),
+            threads: threads.max(1),
+            scheme: PartitionScheme::Hash,
+        }
+    }
+
+    /// Replaces the partitioning family.
+    pub fn with_scheme(mut self, scheme: PartitionScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// The spec this config selects for `graph`.
+    pub fn spec_for(&self, graph: &Graph) -> PartitionSpec {
+        match self.scheme {
+            PartitionScheme::Hash => PartitionSpec::hash(self.partitions),
+            PartitionScheme::LabelRange => PartitionSpec::label_range(graph, self.partitions),
+        }
+    }
+}
+
+/// Partitioned-execution state: sharded graph, per-shard indices, worker
+/// arenas and the thread budget.
+#[derive(Debug)]
+pub struct ShardRuntime {
+    config: ShardConfig,
+    sharded: ShardedGraph,
+    indices: ShardedIndexSet,
+    pool: ArenaPool,
+}
+
+impl ShardRuntime {
+    /// Partitions `graph` and builds the per-shard indices for `schema`,
+    /// both on up to `config.threads` workers.
+    pub fn build(graph: &Graph, schema: &AccessSchema, config: ShardConfig) -> Self {
+        let spec = config.spec_for(graph);
+        let sharded = ShardedGraph::build(graph, spec.clone(), config.threads);
+        let indices = ShardedIndexSet::build(graph, schema, &spec, config.threads);
+        ShardRuntime {
+            config,
+            sharded,
+            indices,
+            pool: ArenaPool::new(config.threads.max(1)),
+        }
+    }
+
+    /// Assembles a runtime from already-built per-shard index sets (the
+    /// snapshot-load path): only the sharded graph is rebuilt, the index
+    /// blobs are trusted as decoded.
+    pub fn from_indices(graph: &Graph, indices: ShardedIndexSet, threads: usize) -> Self {
+        let spec = indices.spec().clone();
+        let config = ShardConfig {
+            partitions: spec.partitions(),
+            threads: threads.max(1),
+            scheme: match spec {
+                PartitionSpec::Hash { .. } => PartitionScheme::Hash,
+                PartitionSpec::LabelRange { .. } => PartitionScheme::LabelRange,
+            },
+        };
+        let sharded = ShardedGraph::build(graph, spec, config.threads);
+        ShardRuntime {
+            config,
+            sharded,
+            indices,
+            pool: ArenaPool::new(config.threads),
+        }
+    }
+
+    /// The knobs this runtime was built with.
+    pub fn config(&self) -> ShardConfig {
+        self.config
+    }
+
+    /// The partitioning spec.
+    pub fn spec(&self) -> &PartitionSpec {
+        self.sharded.spec()
+    }
+
+    /// The partitioned graph.
+    pub fn sharded_graph(&self) -> &ShardedGraph {
+        &self.sharded
+    }
+
+    /// The per-shard indices.
+    pub fn indices(&self) -> &ShardedIndexSet {
+        &self.indices
+    }
+
+    /// Worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.sharded.partition_count()
+    }
+
+    /// The worker-pinned arena pool parallel matching runs on.
+    pub fn pool(&self) -> &ArenaPool {
+        &self.pool
+    }
+
+    /// Merges the per-shard indices into the exact single-build set.
+    pub fn merged_indices(&self) -> AccessIndexSet {
+        self.indices.merged()
+    }
+
+    /// Applies a committed delta batch: per-shard index maintenance (one
+    /// worker per shard) plus a rebuild of the sharded graph topology.
+    /// `new_graph` must already reflect the deltas.
+    pub fn apply_deltas(
+        &mut self,
+        new_graph: &Graph,
+        deltas: &[GraphDelta],
+    ) -> Vec<MaintenanceStats> {
+        let stats = self
+            .indices
+            .apply_deltas(new_graph, deltas, self.config.threads);
+        self.sharded =
+            ShardedGraph::build(new_graph, self.indices.spec().clone(), self.config.threads);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq_access::AccessConstraint;
+    use bgpq_graph::{GraphBuilder, NodeId, Value};
+
+    fn setup() -> (Graph, AccessSchema) {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node("hub", Value::Null);
+        for i in 0..20 {
+            let leaf = b.add_node("leaf", Value::Int(i));
+            b.add_edge(hub, leaf).unwrap();
+        }
+        let g = b.build();
+        let l = |n: &str| g.interner().get(n).unwrap();
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::global(l("hub"), 1),
+            AccessConstraint::unary(l("hub"), l("leaf"), 20),
+        ]);
+        (g, schema)
+    }
+
+    #[test]
+    fn build_wires_all_parts_consistently() {
+        let (g, schema) = setup();
+        let rt = ShardRuntime::build(&g, &schema, ShardConfig::new(3, 2));
+        assert_eq!(rt.partitions(), 3);
+        assert_eq!(rt.threads(), 2);
+        assert_eq!(rt.indices().partition_count(), 3);
+        assert_eq!(rt.sharded_graph().node_count(), g.live_node_count());
+        assert!(rt.pool().workers() >= 2);
+        // Merged indices equal a direct single build.
+        let full = AccessIndexSet::build(&g, &schema);
+        let merged = rt.merged_indices();
+        for (id, ix) in full.iter() {
+            assert_eq!(merged.get(id).unwrap().size(), ix.size());
+        }
+    }
+
+    #[test]
+    fn scheme_parses_from_cli_spellings() {
+        assert_eq!("hash".parse(), Ok(PartitionScheme::Hash));
+        assert_eq!("label-range".parse(), Ok(PartitionScheme::LabelRange));
+        assert!("banana".parse::<PartitionScheme>().is_err());
+    }
+
+    #[test]
+    fn deltas_update_indices_and_topology() {
+        let (g, schema) = setup();
+        let mut rt = ShardRuntime::build(&g, &schema, ShardConfig::new(2, 2));
+        let mut g2 = g.clone();
+        let mut deltas = Vec::new();
+        let leaf = NodeId(5);
+        for e in g2.delete_node(leaf).unwrap() {
+            deltas.push(GraphDelta::DeleteEdge(e.src, e.dst));
+        }
+        deltas.push(GraphDelta::DeleteNode(leaf));
+        let stats = rt.apply_deltas(&g2, &deltas);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(rt.sharded_graph().node_count(), g2.live_node_count());
+        // Maintained indices equal a fresh rebuild.
+        let fresh = ShardRuntime::build(&g2, &schema, ShardConfig::new(2, 2));
+        for (a, b) in rt.indices().shards().iter().zip(fresh.indices().shards()) {
+            for (id, ix) in b.iter() {
+                assert_eq!(a.get(id).unwrap().size(), ix.size());
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Partitioned graph storage: [`Shard`] and [`ShardedGraph`].
+//!
+//! A [`ShardedGraph`] splits a [`Graph`] into `P` shards under a
+//! [`PartitionSpec`]. Each shard carries the slice of the graph it owns —
+//! its node set, a [`LabelIndex`] over those nodes, and a CSR adjacency
+//! slice holding the *intra-shard* edges — while edges whose endpoints live
+//! in different shards are stitched into a cross-partition edge map on the
+//! sharded graph itself. The parent graph is not consumed: shards speak
+//! parent node ids throughout (the same no-remapping discipline as
+//! [`bgpq_graph::FragmentView`]), so per-shard answers union without
+//! translation.
+//!
+//! Shard construction is embarrassingly parallel (one worker per shard over
+//! a precomputed ownership vector) and deterministic: shard `p`'s content
+//! depends only on the graph and the spec, never on thread scheduling.
+
+use crate::partition::PartitionSpec;
+use crate::pool::parallel_map;
+use bgpq_graph::{Graph, LabelIndex, NodeId};
+
+/// An edge whose endpoints live in different shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossEdge {
+    /// Source node (owned by [`CrossEdge::src_shard`]).
+    pub src: NodeId,
+    /// Destination node (owned by [`CrossEdge::dst_shard`]).
+    pub dst: NodeId,
+    /// The shard owning `src`.
+    pub src_shard: u32,
+    /// The shard owning `dst`.
+    pub dst_shard: u32,
+}
+
+/// One partition of a [`ShardedGraph`]: the nodes a spec assigns to it,
+/// their label index, and the intra-shard adjacency in CSR form.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    id: u32,
+    /// Owned live nodes, sorted by id (parent ids).
+    nodes: Vec<NodeId>,
+    /// Label → owned nodes carrying it.
+    label_index: LabelIndex,
+    /// CSR offsets into [`Shard::out_adj`], one slot per owned node (in
+    /// `nodes` order) plus a trailing end offset.
+    out_start: Vec<u32>,
+    /// Intra-shard out-neighbors, grouped per owned node.
+    out_adj: Vec<NodeId>,
+    /// CSR offsets into [`Shard::in_adj`].
+    in_start: Vec<u32>,
+    /// Intra-shard in-neighbors, grouped per owned node.
+    in_adj: Vec<NodeId>,
+}
+
+impl Shard {
+    /// This shard's id (its position in [`ShardedGraph::shards`]).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The owned live nodes, sorted by parent id.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of owned live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Label index over the owned nodes.
+    pub fn label_index(&self) -> &LabelIndex {
+        &self.label_index
+    }
+
+    /// Number of intra-shard edges (both endpoints owned here).
+    pub fn internal_edge_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// The local position of `v` in this shard, if owned.
+    fn slot_of(&self, v: NodeId) -> Option<usize> {
+        self.nodes.binary_search(&v).ok()
+    }
+
+    /// Intra-shard out-neighbors of `v`; `None` when `v` is not owned here.
+    pub fn out_neighbors(&self, v: NodeId) -> Option<&[NodeId]> {
+        let slot = self.slot_of(v)?;
+        Some(&self.out_adj[self.out_start[slot] as usize..self.out_start[slot + 1] as usize])
+    }
+
+    /// Intra-shard in-neighbors of `v`; `None` when `v` is not owned here.
+    pub fn in_neighbors(&self, v: NodeId) -> Option<&[NodeId]> {
+        let slot = self.slot_of(v)?;
+        Some(&self.in_adj[self.in_start[slot] as usize..self.in_start[slot + 1] as usize])
+    }
+}
+
+/// A [`Graph`] partitioned into shards plus the cross-partition edge map.
+#[derive(Debug, Clone)]
+pub struct ShardedGraph {
+    spec: PartitionSpec,
+    /// Node index → owning shard; `u32::MAX` for tombstoned slots.
+    assignment: Vec<u32>,
+    shards: Vec<Shard>,
+    /// Edges crossing shard boundaries, sorted by `(src, dst)`.
+    cross_edges: Vec<CrossEdge>,
+}
+
+impl ShardedGraph {
+    /// Partitions `graph` under `spec`, building shards on up to `threads`
+    /// workers. Deterministic for any thread count.
+    pub fn build(graph: &Graph, spec: PartitionSpec, threads: usize) -> Self {
+        let assignment: Vec<u32> = graph
+            .nodes()
+            .map(|v| {
+                if graph.is_live(v) {
+                    spec.shard_of(v, graph.label(v))
+                } else {
+                    u32::MAX
+                }
+            })
+            .collect();
+        let ids: Vec<u32> = (0..spec.partitions() as u32).collect();
+        let built = parallel_map(threads, &ids, |_, &p| build_shard(graph, &assignment, p));
+        let mut shards = Vec::with_capacity(built.len());
+        let mut cross_edges = Vec::new();
+        for (shard, crossing) in built {
+            shards.push(shard);
+            cross_edges.extend(crossing);
+        }
+        cross_edges.sort_unstable_by_key(|e| (e.src, e.dst));
+        ShardedGraph {
+            spec,
+            assignment,
+            shards,
+            cross_edges,
+        }
+    }
+
+    /// The partitioning spec this graph was built with.
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// The shards, in shard-id order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Number of partitions `P`.
+    pub fn partition_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `v`, or `None` for tombstoned/out-of-range slots.
+    pub fn shard_of(&self, v: NodeId) -> Option<u32> {
+        match self.assignment.get(v.index()) {
+            Some(&s) if s != u32::MAX => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when shard `p` owns `v` — the ownership predicate per-partition
+    /// index builds and filtered maintenance close over.
+    pub fn owns(&self, p: u32, v: NodeId) -> bool {
+        self.shard_of(v) == Some(p)
+    }
+
+    /// The cross-partition edge map, sorted by `(src, dst)`.
+    pub fn cross_edges(&self) -> &[CrossEdge] {
+        &self.cross_edges
+    }
+
+    /// Total live nodes across all shards.
+    pub fn node_count(&self) -> usize {
+        self.shards.iter().map(Shard::node_count).sum()
+    }
+
+    /// Total edges: intra-shard plus crossing.
+    pub fn edge_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(Shard::internal_edge_count)
+            .sum::<usize>()
+            + self.cross_edges.len()
+    }
+}
+
+/// Builds shard `p` from the ownership vector: owned nodes in id order,
+/// their label index, the intra-shard CSR, and the crossing out-edges
+/// (attributed to the source's shard so each crossing edge appears once).
+fn build_shard(graph: &Graph, assignment: &[u32], p: u32) -> (Shard, Vec<CrossEdge>) {
+    let nodes: Vec<NodeId> = graph
+        .nodes()
+        .filter(|v| assignment[v.index()] == p)
+        .collect();
+    let mut label_index = LabelIndex::default();
+    let mut out_start = Vec::with_capacity(nodes.len() + 1);
+    let mut out_adj = Vec::new();
+    let mut in_start = Vec::with_capacity(nodes.len() + 1);
+    let mut in_adj = Vec::new();
+    let mut crossing = Vec::new();
+    out_start.push(0);
+    in_start.push(0);
+    for &v in &nodes {
+        label_index.insert(graph.label(v), v);
+        for &w in graph.out_neighbors(v) {
+            let dst_shard = assignment[w.index()];
+            if dst_shard == p {
+                out_adj.push(w);
+            } else {
+                crossing.push(CrossEdge {
+                    src: v,
+                    dst: w,
+                    src_shard: p,
+                    dst_shard,
+                });
+            }
+        }
+        out_start.push(out_adj.len() as u32);
+        in_adj.extend(
+            graph
+                .in_neighbors(v)
+                .iter()
+                .copied()
+                .filter(|w| assignment[w.index()] == p),
+        );
+        in_start.push(in_adj.len() as u32);
+    }
+    (
+        Shard {
+            id: p,
+            nodes,
+            label_index,
+            out_start,
+            out_adj,
+            in_start,
+            in_adj,
+        },
+        crossing,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq_graph::{GraphBuilder, Value};
+
+    fn chain_graph(n: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                b.add_node(
+                    if i % 2 == 0 { "even" } else { "odd" },
+                    Value::Int(i as i64),
+                )
+            })
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn shards_partition_nodes_and_edges_exactly() {
+        let g = chain_graph(50);
+        for parts in [1, 2, 4] {
+            for threads in [1, 2] {
+                let sg = ShardedGraph::build(&g, PartitionSpec::hash(parts), threads);
+                assert_eq!(sg.partition_count(), parts);
+                assert_eq!(sg.node_count(), g.live_node_count());
+                assert_eq!(sg.edge_count(), g.edge_count());
+                // Every node is owned exactly once, by the shard the spec says.
+                for v in g.nodes() {
+                    let owner = sg.shard_of(v).unwrap();
+                    assert_eq!(owner, sg.spec().shard_of(v, g.label(v)));
+                    let owning: Vec<_> = sg
+                        .shards()
+                        .iter()
+                        .filter(|s| s.nodes().binary_search(&v).is_ok())
+                        .collect();
+                    assert_eq!(owning.len(), 1);
+                    assert_eq!(owning[0].id(), owner);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_identical_across_thread_counts() {
+        let g = chain_graph(64);
+        let serial = ShardedGraph::build(&g, PartitionSpec::hash(4), 1);
+        let parallel = ShardedGraph::build(&g, PartitionSpec::hash(4), 4);
+        assert_eq!(serial.cross_edges(), parallel.cross_edges());
+        for (a, b) in serial.shards().iter().zip(parallel.shards()) {
+            assert_eq!(a.nodes(), b.nodes());
+            assert_eq!(a.internal_edge_count(), b.internal_edge_count());
+            for &v in a.nodes() {
+                assert_eq!(a.out_neighbors(v), b.out_neighbors(v));
+                assert_eq!(a.in_neighbors(v), b.in_neighbors(v));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_slices_agree_with_the_parent_graph() {
+        let g = chain_graph(30);
+        let sg = ShardedGraph::build(&g, PartitionSpec::hash(3), 2);
+        for shard in sg.shards() {
+            for &v in shard.nodes() {
+                let intra: Vec<NodeId> = g
+                    .out_neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| sg.owns(shard.id(), w))
+                    .collect();
+                assert_eq!(shard.out_neighbors(v).unwrap(), intra.as_slice());
+                let cross = g.out_neighbors(v).len() - intra.len();
+                let mapped = sg.cross_edges().iter().filter(|e| e.src == v).count();
+                assert_eq!(cross, mapped, "crossing out-edges of {v:?} must be mapped");
+            }
+            // Label index covers exactly the owned nodes.
+            let indexed: usize = shard.label_index().iter().map(|(_, ns)| ns.len()).sum();
+            assert_eq!(indexed, shard.node_count());
+        }
+        // Foreign lookups answer None, not garbage.
+        let foreign = sg.shards()[0].nodes().first().copied().unwrap_or(NodeId(0));
+        for shard in sg.shards().iter().skip(1) {
+            assert!(shard.out_neighbors(foreign).is_none() || sg.owns(shard.id(), foreign));
+        }
+    }
+
+    #[test]
+    fn label_range_spec_keeps_labels_whole() {
+        let g = chain_graph(40);
+        let spec = PartitionSpec::label_range(&g, 2);
+        let sg = ShardedGraph::build(&g, spec, 2);
+        let even = g.interner().get("even").unwrap();
+        let odd = g.interner().get("odd").unwrap();
+        for shard in sg.shards() {
+            // A shard either owns all nodes of a label or none of them.
+            for &label in &[even, odd] {
+                let here = shard.label_index().count(label);
+                assert!(here == 0 || here == g.label_count(label));
+            }
+        }
+        assert_eq!(sg.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn tombstoned_nodes_are_unowned() {
+        let mut g = chain_graph(10);
+        g.delete_node(NodeId(4)).unwrap();
+        let sg = ShardedGraph::build(&g, PartitionSpec::hash(2), 1);
+        assert_eq!(sg.shard_of(NodeId(4)), None);
+        assert_eq!(sg.node_count(), g.live_node_count());
+        assert_eq!(sg.edge_count(), g.edge_count());
+    }
+}

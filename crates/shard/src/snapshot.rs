@@ -1,0 +1,300 @@
+//! The `Shards` section of the `.bgpq` snapshot container.
+//!
+//! Persists a [`PartitionSpec`] plus one independently-decodable index blob
+//! per shard, so a snapshot compiled once with `--partitions N` loads its
+//! per-partition indices **in parallel** — the blobs are length-prefixed and
+//! self-contained (each is a full `bgpq-access` indices payload), letting
+//! one worker decode each shard without touching the others' bytes.
+//!
+//! The section is optional by design: readers without sharding support skip
+//! unknown section ids, so a sharded snapshot still opens everywhere — the
+//! extra section only lights up partitioned execution where this crate is
+//! linked.
+//!
+//! Payload layout (all integers little-endian):
+//!
+//! ```text
+//! u8  spec kind            0 = hash, 1 = label-range
+//! u32 partitions           P
+//! [label-range only] u32 assignment count, then (u32 label, u32 shard)*
+//! u32 shard count          == P
+//! per shard: u64 blob length, then the bgpq-access indices payload
+//! ```
+
+use crate::index::ShardedIndexSet;
+use crate::partition::PartitionSpec;
+use crate::pool::parallel_map;
+use bgpq_access::{
+    decode_bundle, decode_index_set, encode_index_set, write_snapshot_with_sections, AccessSchema,
+    SnapshotBundle,
+};
+use bgpq_graph::io::snapshot::{
+    Section, SectionReader, SectionWriter, SnapshotArchive, SnapshotError,
+};
+use bgpq_graph::{Graph, Label};
+use std::path::Path;
+
+/// Encodes `indices` (and the spec it was partitioned under) as the payload
+/// of a [`Section::Shards`] section.
+pub fn encode_shards_section(indices: &ShardedIndexSet) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    let spec = indices.spec();
+    w.put_u8(spec.kind());
+    w.put_u32(spec.partitions() as u32);
+    if let PartitionSpec::LabelRange { assignments, .. } = spec {
+        w.put_u32(assignments.len() as u32);
+        for &(label, shard) in assignments {
+            w.put_u32(label.0);
+            w.put_u32(shard);
+        }
+    }
+    w.put_u32(indices.partition_count() as u32);
+    for shard in indices.shards() {
+        let blob = encode_index_set(shard);
+        w.put_u64(blob.len() as u64);
+        w.put_bytes(&blob);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`Section::Shards`] payload back into a [`ShardedIndexSet`],
+/// decoding the per-shard blobs on up to `threads` workers.
+///
+/// `graph` and `schema` must be the ones decoded from the surrounding
+/// container — the blobs reference node ids and constraint ids and carry no
+/// copies of either.
+pub fn decode_shards_section(
+    bytes: &[u8],
+    graph: &Graph,
+    schema: &AccessSchema,
+    threads: usize,
+) -> Result<ShardedIndexSet, SnapshotError> {
+    let mut r = SectionReader::new(Section::Shards, bytes);
+    let kind = r.read_u8()?;
+    let partitions = r.read_u32()? as usize;
+    if partitions == 0 {
+        return Err(r.corrupt("shard section with zero partitions"));
+    }
+    let spec = match kind {
+        0 => PartitionSpec::hash(partitions),
+        1 => {
+            let count = r.read_u32()? as usize;
+            let mut assignments = Vec::with_capacity(count);
+            let mut last_label: Option<u32> = None;
+            for _ in 0..count {
+                let label = r.read_u32()?;
+                let shard = r.read_u32()?;
+                if shard >= partitions as u32 {
+                    return Err(
+                        r.corrupt(format!("label assigned to shard {shard} >= {partitions}"))
+                    );
+                }
+                if last_label.is_some_and(|prev| prev >= label) {
+                    return Err(r.corrupt("label assignments must be strictly sorted"));
+                }
+                last_label = Some(label);
+                assignments.push((Label(label), shard));
+            }
+            PartitionSpec::LabelRange {
+                partitions: partitions as u32,
+                assignments,
+            }
+        }
+        other => return Err(r.corrupt(format!("unknown partition spec kind {other}"))),
+    };
+    let shard_count = r.read_u32()? as usize;
+    if shard_count != partitions {
+        return Err(r.corrupt(format!(
+            "shard count {shard_count} does not match partition count {partitions}"
+        )));
+    }
+    let mut blobs: Vec<&[u8]> = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let len = r.read_u64()? as usize;
+        blobs.push(r.read_bytes(len)?);
+    }
+    r.expect_end()?;
+    let decoded = parallel_map(threads, &blobs, |_, blob| {
+        decode_index_set(Section::Shards, blob, graph, schema)
+    });
+    let mut shards = Vec::with_capacity(decoded.len());
+    for set in decoded {
+        shards.push(set?);
+    }
+    Ok(ShardedIndexSet::from_parts(spec, shards))
+}
+
+/// Saves a partitioned snapshot to `path`: the standard graph / schema /
+/// indices sections (the indices written are the **merged** single-shard
+/// set, so any reader opens the file) plus a [`Section::Shards`] section
+/// carrying the spec and the per-shard blobs.
+pub fn save_sharded_snapshot(
+    graph: &Graph,
+    indices: &ShardedIndexSet,
+    path: impl AsRef<Path>,
+) -> Result<(), SnapshotError> {
+    let merged = indices.merged();
+    let file = std::fs::File::create(path)?;
+    write_snapshot_with_sections(
+        graph,
+        &merged,
+        [(Section::Shards, encode_shards_section(indices))],
+        file,
+    )
+}
+
+/// Loads a snapshot from `path` together with its per-shard indices, when a
+/// [`Section::Shards`] section is present (blobs decoded on up to `threads`
+/// workers). Snapshots compiled without `--partitions` load with `None` —
+/// callers fall back to serial execution or re-partition in memory.
+pub fn load_sharded_snapshot(
+    path: impl AsRef<Path>,
+    threads: usize,
+) -> Result<(SnapshotBundle, Option<ShardedIndexSet>), SnapshotError> {
+    let archive = SnapshotArchive::open(path)?;
+    let bundle = decode_bundle(&archive)?;
+    let sharded = match archive.section(Section::Shards) {
+        Some(bytes) => Some(decode_shards_section(
+            bytes,
+            &bundle.graph,
+            &bundle.schema,
+            threads,
+        )?),
+        None => None,
+    };
+    Ok((bundle, sharded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpq_access::{AccessConstraint, ConstraintId};
+    use bgpq_graph::{GraphBuilder, Value};
+
+    fn setup() -> (Graph, AccessSchema) {
+        let mut b = GraphBuilder::new();
+        let users: Vec<_> = (0..10).map(|i| b.add_node("user", Value::Int(i))).collect();
+        for i in 0..20i64 {
+            let p = b.add_node("post", Value::Int(i));
+            b.add_edge(users[(i % 10) as usize], p).unwrap();
+        }
+        let g = b.build();
+        let l = |n: &str| g.interner().get(n).unwrap();
+        let schema = AccessSchema::from_constraints([
+            AccessConstraint::global(l("user"), 10),
+            AccessConstraint::unary(l("user"), l("post"), 2),
+        ]);
+        (g, schema)
+    }
+
+    fn assert_round_trips(spec: PartitionSpec, threads: usize) {
+        let (g, schema) = setup();
+        let indices = ShardedIndexSet::build(&g, &schema, &spec, threads);
+        let payload = encode_shards_section(&indices);
+        let decoded = decode_shards_section(&payload, &g, &schema, threads).unwrap();
+        assert_eq!(decoded.spec(), indices.spec());
+        assert_eq!(decoded.partition_count(), indices.partition_count());
+        for (a, b) in decoded.shards().iter().zip(indices.shards()) {
+            for (id, ix) in b.iter() {
+                let d = a.get(id).unwrap();
+                assert_eq!(d.key_count(), ix.key_count());
+                assert_eq!(d.size(), ix.size());
+                assert_eq!(d.is_truncated(), ix.is_truncated());
+                for (key, answers) in ix.entries() {
+                    assert_eq!(d.common_neighbors(key), answers);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_spec_round_trips_across_thread_counts() {
+        for threads in [1, 2, 4] {
+            assert_round_trips(PartitionSpec::hash(3), threads);
+        }
+    }
+
+    #[test]
+    fn label_range_spec_round_trips() {
+        let (g, _) = setup();
+        assert_round_trips(PartitionSpec::label_range(&g, 2), 2);
+    }
+
+    #[test]
+    fn decoded_set_answers_like_the_original() {
+        let (g, schema) = setup();
+        let spec = PartitionSpec::hash(4);
+        let indices = ShardedIndexSet::build(&g, &schema, &spec, 2);
+        let payload = encode_shards_section(&indices);
+        let decoded = decode_shards_section(&payload, &g, &schema, 2).unwrap();
+        let user = g.interner().get("user").unwrap();
+        for &u in g.nodes_with_label(user) {
+            assert_eq!(
+                decoded.common_neighbors(ConstraintId(1), &[u]),
+                indices.common_neighbors(ConstraintId(1), &[u])
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_file_round_trips_and_opens_unsharded() {
+        let (g, schema) = setup();
+        let spec = PartitionSpec::hash(3);
+        let indices = ShardedIndexSet::build(&g, &schema, &spec, 2);
+        let dir = std::env::temp_dir().join(format!("bgpq-shard-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.bgpq");
+
+        save_sharded_snapshot(&g, &indices, &path).unwrap();
+
+        // A sharding-aware loader gets the per-shard sets back.
+        let (bundle, sharded) = load_sharded_snapshot(&path, 2).unwrap();
+        let sharded = sharded.expect("shards section must be present");
+        assert_eq!(sharded.partition_count(), 3);
+        assert_eq!(bundle.schema, schema);
+        // The embedded merged indices equal the shard union, so the file
+        // also answers correctly for readers that ignore the section.
+        let merged = indices.merged();
+        for (id, ix) in merged.iter() {
+            let loaded = bundle.indices.get(id).unwrap();
+            assert_eq!(loaded.key_count(), ix.key_count());
+            assert_eq!(loaded.size(), ix.size());
+        }
+        // A plain loader simply skips the Shards section.
+        let plain = bgpq_access::load_snapshot(&path).unwrap();
+        assert_eq!(plain.graph.node_count(), g.node_count());
+
+        // An unsharded snapshot loads with None.
+        let plain_path = dir.join("plain.bgpq");
+        bgpq_access::save_snapshot(&g, &merged, &plain_path).unwrap();
+        let (_, none) = load_sharded_snapshot(&plain_path, 2).unwrap();
+        assert!(none.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected_not_misread() {
+        let (g, schema) = setup();
+        let indices = ShardedIndexSet::build(&g, &schema, &PartitionSpec::hash(2), 1);
+        let good = encode_shards_section(&indices);
+
+        // Unknown spec kind.
+        let mut bad = good.clone();
+        bad[0] = 9;
+        assert!(decode_shards_section(&bad, &g, &schema, 1).is_err());
+
+        // Zero partitions.
+        let mut bad = good.clone();
+        bad[1..5].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_shards_section(&bad, &g, &schema, 1).is_err());
+
+        // Truncated mid-blob.
+        let bad = &good[..good.len() - 3];
+        assert!(decode_shards_section(bad, &g, &schema, 1).is_err());
+
+        // Trailing garbage.
+        let mut bad = good;
+        bad.push(0xAB);
+        assert!(decode_shards_section(&bad, &g, &schema, 1).is_err());
+    }
+}

@@ -8,27 +8,35 @@
 //! of those costs.
 
 use super::{
-    dataset_source, discovery_config, fmt_nanos, shard_config, DISCOVERY_FLAGS, SHARD_FLAGS,
-    SIMPLE_SWITCH,
+    dataset_source, discovery_config, fmt_nanos, knob_summary, resolve_scenario, scenario_config,
+    shard_config, DISCOVERY_FLAGS, SCENARIO_FLAGS, SHARD_FLAGS, SIMPLE_SWITCH, SNAPSHOT_FLAG,
 };
 use crate::args::Args;
-use crate::dataset::{default_edge_label, load_dataset_full, load_or_discover_schema};
+use crate::dataset::{
+    default_edge_label, load_dataset_full, load_or_discover_schema, Format, LoadedDataset,
+};
 use bgpq_access::DEFAULT_MAX_COMBINATIONS_PER_NODE;
 use bgpq_engine::{encode_shards_section, save_snapshot, AccessIndexSet, ShardedIndexSet};
+use bgpq_workload::stream_graph_counted;
 use std::error::Error;
 use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
-const USAGE: &str = "USAGE: bgpq compile <dataset> --out FILE.bgpq
+const USAGE: &str = "USAGE: bgpq compile <dataset|--gen SCENARIO> --out FILE.bgpq
                      [--schema FILE] [--cap N] [discovery flags]
                      [--partitions N] [--threads N] [--scheme hash|label-range]
                      [--format text|jsonl|edges|snapshot] [--label NAME]
+                     [--scale N] [--seed N] [--zipf S] [--hot-fraction F]
+                     [--domain D]
 
 Loads the dataset, obtains an access schema (--schema FILE or discovery),
 builds one index per constraint (--cap bounds the combinations materialized
 per target node) and writes graph + schema + indices into one binary
 snapshot. Querying the snapshot later re-pays none of these costs.
+With --gen SCENARIO the built-in generator streams records straight into
+the graph builder — no dataset file and no record buffer, so compiling a
+--scale 1000000 snapshot is bounded by the graph itself, not the stream.
 With --partitions N the indices are built per partition on --threads
 workers and the snapshot gains a Shards section, so later loads decode the
 per-shard blobs in parallel (plain readers skip the section). Recompiling
@@ -37,35 +45,72 @@ schema and indices verbatim.";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
-    let mut value_flags = vec!["format", "label", "schema", "snapshot", "out", "cap"];
+    let mut value_flags = vec!["format", "label", "schema", "snapshot", "out", "cap", "gen"];
     value_flags.extend_from_slice(&SHARD_FLAGS);
     value_flags.extend_from_slice(&DISCOVERY_FLAGS);
+    value_flags.extend_from_slice(&SCENARIO_FLAGS);
     let args = Args::parse(argv, &value_flags, &[SIMPLE_SWITCH, "help"])?;
     if args.switch("help") {
         writeln!(out, "{USAGE}")?;
         return Ok(());
     }
-    let (path, format) = dataset_source(&args)?;
     let out_path = Path::new(
         args.flag("out")
             .ok_or("missing --out FILE.bgpq (see `bgpq compile --help`)")?,
     );
     let cap: usize = args.flag_or("cap", DEFAULT_MAX_COMBINATIONS_PER_NODE)?;
-    let label = args.flag("label").unwrap_or(default_edge_label());
     let schema_path = args.flag("schema").map(Path::new);
 
-    let started = Instant::now();
-    let loaded = load_dataset_full(path, format, label)?;
-    let load_nanos = started.elapsed().as_nanos() as u64;
-    writeln!(
-        out,
-        "dataset {} ({}): {} nodes, {} edges, loaded in {}",
-        path.display(),
-        loaded.format,
-        loaded.graph.live_node_count(),
-        loaded.graph.edge_count(),
-        fmt_nanos(load_nanos)
-    )?;
+    let (loaded, source_display) = match args.flag("gen") {
+        Some(name) => {
+            if args.positional(0).is_some() || args.flag(SNAPSHOT_FLAG).is_some() {
+                return Err("--gen conflicts with a dataset path or --snapshot".into());
+            }
+            let scenario = resolve_scenario(name)?;
+            let config = scenario_config(&args)?;
+            let started = Instant::now();
+            // Streaming path: records go straight from the generator into
+            // the graph builder, never through a Vec or a dataset file.
+            let (graph, records) = stream_graph_counted(scenario, &config);
+            writeln!(
+                out,
+                "generated {} graph (scale {}, seed {}{}): {} nodes, {} edges \
+                 streamed from {} records in {}",
+                scenario,
+                config.scale,
+                config.seed,
+                knob_summary(&config),
+                graph.live_node_count(),
+                graph.edge_count(),
+                records,
+                fmt_nanos(started.elapsed().as_nanos() as u64)
+            )?;
+            let loaded = LoadedDataset {
+                graph,
+                format: Format::Text,
+                embedded: None,
+                shards_payload: None,
+            };
+            (loaded, format!("gen:{scenario}"))
+        }
+        None => {
+            let (path, format) = dataset_source(&args)?;
+            let label = args.flag("label").unwrap_or(default_edge_label());
+            let started = Instant::now();
+            let loaded = load_dataset_full(path, format, label)?;
+            writeln!(
+                out,
+                "dataset {} ({}): {} nodes, {} edges, loaded in {}",
+                path.display(),
+                loaded.format,
+                loaded.graph.live_node_count(),
+                loaded.graph.edge_count(),
+                fmt_nanos(started.elapsed().as_nanos() as u64)
+            )?;
+            let display = path.display().to_string();
+            (loaded, display)
+        }
+    };
 
     let shard = shard_config(&args)?;
     let (graph, schema, indices, sharded, source) = match (loaded.embedded, schema_path) {
@@ -160,7 +205,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         out,
         "compiled {} -> {}: {} constraints, |index| = {} node ids ({source}{}), \
          {} bytes written in {}",
-        path.display(),
+        source_display,
         out_path.display(),
         schema.len(),
         indices.total_size(),

@@ -1,41 +1,44 @@
 //! `bgpq gen` — generate a built-in scenario dataset.
 
+use super::{knob_summary, resolve_scenario, scenario_config, SCENARIO_FLAGS};
 use crate::args::Args;
 use crate::dataset::Format;
-use crate::scenario::{generate_with, text_header, Record, Scenario, ScenarioConfig};
+use crate::scenario::{generate_with, text_header, Record};
 use std::error::Error;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-const USAGE: &str =
-    "USAGE: bgpq gen <scenario> [--scale N] [--seed N] [--format text|jsonl] [--out FILE]
+const USAGE: &str = "USAGE: bgpq gen <scenario> [--scale N] [--seed N]
+                     [--zipf S] [--hot-fraction F] [--domain D]
+                     [--format text|jsonl] [--out FILE]
 
 Scenarios:
   social     users/posts/tags/cities; preferential-attachment follower graph
   citation   papers/authors/venues; year-ordered citation DAG
   products   products/brands/categories/customers/reviews; category tree
 
+Skew knobs (defaults reproduce the historical streams byte-for-byte):
+  --zipf S          zipfian hub attachment with exponent S (higher = spikier)
+  --hot-fraction F  route fraction F of domain references to the hottest tenth
+  --domain D        fix reference-set cardinalities (cities, venues, brands,
+                    ...) to D and value domains to 20*D, independent of scale;
+                    also plants the curated topic/area/collection hub tier
+
 Without --out the dataset is written to stdout. The format defaults to the
---out extension (text otherwise).";
+--out extension (text otherwise). Records stream straight to the sink, so
+--scale 1000000 is bounded by disk, not RAM.";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
-    let args = Args::parse(argv, &["scale", "seed", "format", "out"], &["help"])?;
+    let mut value_flags = vec!["format", "out"];
+    value_flags.extend_from_slice(&SCENARIO_FLAGS);
+    let args = Args::parse(argv, &value_flags, &["help"])?;
     if args.switch("help") {
         writeln!(out, "{USAGE}")?;
         return Ok(());
     }
-    let name = args.require_positional(0, "scenario")?;
-    let scenario = Scenario::from_name(name).ok_or_else(|| {
-        format!(
-            "unknown scenario {name:?} (expected {})",
-            Scenario::ALL.map(Scenario::name).join(", ")
-        )
-    })?;
-    let config = ScenarioConfig {
-        scale: args.flag_or("scale", ScenarioConfig::default().scale)?,
-        seed: args.flag_or("seed", ScenarioConfig::default().seed)?,
-    };
+    let scenario = resolve_scenario(args.require_positional(0, "scenario")?)?;
+    let config = scenario_config(&args)?;
     let out_path = args.flag("out").map(Path::new);
     let format = match args.flag("format") {
         Some(name) => Format::from_name(name)
@@ -116,10 +119,11 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     if let Some(path) = out_path {
         writeln!(
             out,
-            "generated {} dataset (scale {}, seed {}): {} nodes, {} edge records -> {} ({format})",
+            "generated {} dataset (scale {}, seed {}{}): {} nodes, {} edge records -> {} ({format})",
             scenario,
             config.scale,
             config.seed,
+            knob_summary(&config),
             nodes,
             edge_records,
             path.display()

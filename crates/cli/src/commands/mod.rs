@@ -9,12 +9,15 @@ pub mod load;
 pub mod query;
 pub mod serve;
 pub mod serve_demo;
+pub mod workload;
 
 use crate::args::Args;
 use crate::dataset::Format;
+use crate::scenario::{Scenario, ScenarioConfig};
 use bgpq_engine::{DiscoveryConfig, PartitionScheme, ShardConfig};
 use std::error::Error;
 use std::path::Path;
+use std::str::FromStr;
 
 /// Renders a nanosecond count with a readable unit.
 pub(crate) fn fmt_nanos(nanos: u64) -> String {
@@ -62,6 +65,72 @@ pub(crate) fn shard_config(args: &Args) -> Result<Option<ShardConfig>, Box<dyn E
         config = config.with_scheme(raw.parse::<PartitionScheme>()?);
     }
     Ok(Some(config))
+}
+
+/// The scenario-generator flags shared by `gen`, `compile --gen` and
+/// `workload --gen`: scale/seed plus the skew knobs.
+pub(crate) const SCENARIO_FLAGS: [&str; 5] = ["scale", "seed", "zipf", "hot-fraction", "domain"];
+
+/// Parses `--name` as `T` when given, `None` when absent.
+pub(crate) fn optional_flag<T: FromStr>(args: &Args, name: &str) -> Result<Option<T>, String> {
+    match args.flag(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+    }
+}
+
+/// Resolves a scenario name against the built-in generators.
+pub(crate) fn resolve_scenario(name: &str) -> Result<Scenario, String> {
+    Scenario::from_name(name).ok_or_else(|| {
+        format!(
+            "unknown scenario {name:?} (expected {})",
+            Scenario::ALL.map(Scenario::name).join(", ")
+        )
+    })
+}
+
+/// Builds a [`ScenarioConfig`] from the shared scenario flags.
+pub(crate) fn scenario_config(args: &Args) -> Result<ScenarioConfig, Box<dyn Error>> {
+    let defaults = ScenarioConfig::default();
+    let mut config = ScenarioConfig::new(
+        args.flag_or("scale", defaults.scale)?,
+        args.flag_or("seed", defaults.seed)?,
+    );
+    config.zipf = optional_flag(args, "zipf")?;
+    config.hot_fraction = optional_flag(args, "hot-fraction")?;
+    config.domain = optional_flag(args, "domain")?;
+    if config.zipf.is_some_and(|z| !z.is_finite() || z <= 0.0) {
+        return Err("--zipf expects a positive exponent".into());
+    }
+    if config
+        .hot_fraction
+        .is_some_and(|h| !(0.0..=1.0).contains(&h))
+    {
+        return Err("--hot-fraction expects a value in [0, 1]".into());
+    }
+    if config.domain == Some(0) {
+        return Err("--domain expects a positive cardinality".into());
+    }
+    Ok(config)
+}
+
+/// Renders the active skew knobs for summary lines (empty when none are
+/// set, matching the plain `scale/seed` wording of older releases).
+pub(crate) fn knob_summary(config: &ScenarioConfig) -> String {
+    let mut s = String::new();
+    if let Some(z) = config.zipf {
+        s.push_str(&format!(", zipf {z}"));
+    }
+    if let Some(h) = config.hot_fraction {
+        s.push_str(&format!(", hot {h}"));
+    }
+    if let Some(d) = config.domain {
+        s.push_str(&format!(", domain {d}"));
+    }
+    s
 }
 
 /// Resolves a subcommand's dataset input: either the positional path (with

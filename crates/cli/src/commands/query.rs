@@ -12,13 +12,14 @@ use bgpq_engine::{
     Semantics, ShardRuntime, StrategyKind,
 };
 use bgpq_pattern::Pattern;
+use bgpq_workload::{parse_manifest, LatencyHistogram};
 use std::error::Error;
 use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
 
 const USAGE: &str = "USAGE: bgpq query <dataset|--snapshot FILE> --pattern FILE
-                     [--schema FILE] [--semantics iso|sim]
+                     [--workload FILE] [--schema FILE] [--semantics iso|sim]
                      [--strategy auto|bounded|seeded|baseline]
                      [--max-matches N] [--step-budget N] [--show N]
                      [--partitions N] [--threads N] [--scheme hash|label-range]
@@ -32,7 +33,12 @@ path carrying the snapshot magic) supplies its embedded schema and indices,
 so no discovery or index build happens at query time. The engine picks the
 cheapest sound strategy — bounded bVF2/bSim when the pattern is effectively
 bounded under the schema — unless --strategy forces a tier. --explain
-prints the fetch plan or the planner's refusal.";
+prints the fetch plan or the planner's refusal.
+
+--workload FILE (instead of --pattern) runs every query of a `bgpq
+workload` manifest closed-loop through the engine and reports latency
+percentiles, per-strategy counts and the aggregate fragment size; --show
+bounds the per-query detail lines.";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
@@ -47,6 +53,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         "max-matches",
         "step-budget",
         "show",
+        "workload",
     ];
     value_flags.extend_from_slice(&SHARD_FLAGS);
     value_flags.extend_from_slice(&DISCOVERY_FLAGS);
@@ -56,9 +63,15 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         return Ok(());
     }
     let (path, format) = dataset_source(&args)?;
-    let pattern_path = args
-        .flag("pattern")
-        .ok_or("missing --pattern FILE (see `bgpq query --help`)")?;
+    let pattern_path = match (args.flag("pattern"), args.flag("workload")) {
+        (Some(_), Some(_)) => return Err("give --pattern FILE or --workload FILE, not both".into()),
+        (None, None) => {
+            return Err(
+                "missing --pattern FILE or --workload FILE (see `bgpq query --help`)".into(),
+            )
+        }
+        (pattern, _) => pattern,
+    };
     let semantics = parse_semantics(args.flag("semantics"))?;
     let strategy = parse_strategy(args.flag("strategy"))?;
     let show = args.flag_or("show", 10usize)?;
@@ -114,10 +127,6 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         }
     };
 
-    let pattern_text =
-        std::fs::read_to_string(pattern_path).map_err(|e| format!("{pattern_path}: {e}"))?;
-    let pattern = parse_pattern(&pattern_text, engine.graph().interner().clone())
-        .map_err(|e| format!("{pattern_path}: {e}"))?;
     writeln!(
         out,
         "dataset {}: {} nodes, {} edges; schema: {} constraints{}",
@@ -127,6 +136,15 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         schema_len,
         schema_desc
     )?;
+    let Some(pattern_path) = pattern_path else {
+        // --workload: run every manifest query closed-loop and aggregate.
+        let manifest_path = args.flag("workload").expect("checked above");
+        return run_workload(&engine, manifest_path, strategy, show, out);
+    };
+    let pattern_text =
+        std::fs::read_to_string(pattern_path).map_err(|e| format!("{pattern_path}: {e}"))?;
+    let pattern = parse_pattern(&pattern_text, engine.graph().interner().clone())
+        .map_err(|e| format!("{pattern_path}: {e}"))?;
     writeln!(
         out,
         "pattern {}: {} nodes, {} edges",
@@ -157,6 +175,108 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let request = builder.explain(args.switch("explain")).finish();
     let response = engine.execute(&request)?;
     report(&response, &pattern, &engine, show, out)?;
+    Ok(())
+}
+
+/// Closed-loop manifest runner behind `--workload FILE`: executes every
+/// query of a `bgpq workload` manifest through the engine and reports
+/// latency percentiles, the strategy mix and the aggregate fragment size.
+fn run_workload(
+    engine: &Engine,
+    manifest_path: &str,
+    strategy: Option<StrategyKind>,
+    show: usize,
+    out: &mut dyn Write,
+) -> Result<(), Box<dyn Error>> {
+    let text =
+        std::fs::read_to_string(manifest_path).map_err(|e| format!("{manifest_path}: {e}"))?;
+    let manifest = parse_manifest(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
+    let bounded_flagged = manifest.iter().filter(|q| q.bounded).count();
+    writeln!(
+        out,
+        "workload {manifest_path}: {} queries ({} bounded / {} unbounded)",
+        manifest.len(),
+        bounded_flagged,
+        manifest.len() - bounded_flagged
+    )?;
+
+    let graph_nodes = engine.graph().live_node_count();
+    let mut latency = LatencyHistogram::new();
+    let mut strategies: std::collections::BTreeMap<String, usize> = Default::default();
+    let (mut fragment_nodes, mut fragment_runs) = (0u64, 0u64);
+    let mut refused = 0usize;
+    for (ran, q) in manifest.iter().enumerate() {
+        let pattern = parse_pattern(&q.pattern, engine.graph().interner().clone())
+            .map_err(|e| format!("{manifest_path}: query {}: {e}", q.index))?;
+        let mut builder = QueryRequest::build(pattern).semantics(q.semantics);
+        if let Some(kind) = strategy {
+            builder = builder.strategy(kind);
+        }
+        let response = match engine.execute(&builder.finish()) {
+            Ok(response) => response,
+            // Forcing --strategy bounded makes the engine refuse the
+            // manifest's unbounded-flagged queries; that is a data point of
+            // the run, not an error.
+            Err(_) if !q.bounded => {
+                refused += 1;
+                continue;
+            }
+            Err(e) => return Err(format!("{manifest_path}: query {}: {e}", q.index).into()),
+        };
+        latency.record(response.stats.total_nanos / 1_000);
+        *strategies.entry(response.strategy.to_string()).or_default() += 1;
+        let answers = match &response.answer {
+            QueryAnswer::Matches(matches) => matches.len(),
+            QueryAnswer::Simulation(relation) => relation.pair_count(),
+        };
+        let mut line = format!(
+            "  q{} {} {}: {} strategy, {} answers, {}",
+            q.index,
+            q.shape.map_or("?", |s| s.name()),
+            if q.bounded { "bounded" } else { "unbounded" },
+            response.strategy,
+            answers,
+            fmt_nanos(response.stats.total_nanos),
+        );
+        if let Some(fetch) = &response.stats.fetch {
+            fragment_nodes += fetch.fragment_nodes as u64;
+            fragment_runs += 1;
+            line.push_str(&format!(", |G_Q| = {} nodes", fetch.fragment_nodes));
+        }
+        if ran < show {
+            writeln!(out, "{line}")?;
+        }
+    }
+
+    let mut line = format!("ran {} queries", manifest.len() - refused);
+    if refused > 0 {
+        line.push_str(&format!(" ({refused} refused by the forced strategy)"));
+    }
+    if !strategies.is_empty() {
+        let mix: Vec<String> = strategies.iter().map(|(k, v)| format!("{k} {v}")).collect();
+        line.push_str(&format!("; strategies: {}", mix.join(", ")));
+    }
+    writeln!(out, "{line}")?;
+    if latency.count() > 0 {
+        writeln!(
+            out,
+            "latency: p50 {} µs, p95 {} µs, p99 {} µs, mean {} µs, max {} µs",
+            latency.quantile(0.5),
+            latency.quantile(0.95),
+            latency.quantile(0.99),
+            latency.mean(),
+            latency.max()
+        )?;
+    }
+    if fragment_runs > 0 {
+        let avg = fragment_nodes as f64 / fragment_runs as f64;
+        writeln!(
+            out,
+            "fragments: avg |G_Q| = {avg:.1} nodes ({:.2}% of |G|) over {fragment_runs} \
+             index-fetched runs",
+            100.0 * avg / graph_nodes.max(1) as f64
+        )?;
+    }
     Ok(())
 }
 

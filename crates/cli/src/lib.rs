@@ -27,7 +27,7 @@ pub mod args;
 pub mod commands;
 pub mod dataset;
 pub mod render;
-pub mod scenario;
+pub use bgpq_workload::scenario;
 
 use std::error::Error;
 use std::io::Write;
@@ -44,6 +44,7 @@ COMMANDS:
   index <dataset>      build access indices and report their sizes
   compile <dataset>    compile dataset + schema + indices into a .bgpq snapshot
   query <dataset>      run a pattern query (--pattern FILE) through the engine
+  workload <dataset>   generate a schema-aware query workload manifest
   serve-demo <dataset> drive the concurrent server with a mixed workload
   serve <dataset>      listen for bgpq-net TCP clients (--port 0 = any free)
   client               query a running `bgpq serve` (--addr HOST:PORT)
@@ -72,6 +73,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         "index" => commands::index::run(rest, out),
         "compile" => commands::compile::run(rest, out),
         "query" => commands::query::run(rest, out),
+        "workload" => commands::workload::run(rest, out),
         "serve-demo" => commands::serve_demo::run(rest, out),
         "serve" => commands::serve::run(rest, out),
         "client" => commands::client::run(rest, out),

@@ -17,13 +17,7 @@ use bgpq_pattern::DetRng;
 use std::io::Cursor;
 
 fn configs() -> Vec<ScenarioConfig> {
-    vec![
-        ScenarioConfig { scale: 30, seed: 1 },
-        ScenarioConfig {
-            scale: 100,
-            seed: 42,
-        },
-    ]
+    vec![ScenarioConfig::new(30, 1), ScenarioConfig::new(100, 42)]
 }
 
 #[test]
@@ -67,7 +61,7 @@ fn lossless_formats_round_trip_through_files() {
     let dir = std::env::temp_dir().join("bgpq_cli_roundtrip");
     std::fs::create_dir_all(&dir).unwrap();
     for scenario in Scenario::ALL {
-        let dataset = generate(scenario, &ScenarioConfig { scale: 40, seed: 9 });
+        let dataset = generate(scenario, &ScenarioConfig::new(40, 9));
         let graph = dataset.build_graph();
 
         let text_path = dir.join(format!("{scenario}.tsv"));
@@ -96,7 +90,7 @@ fn lossless_formats_round_trip_through_files() {
 /// datasets don't churn when regenerated.
 #[test]
 fn text_serialization_is_stable() {
-    let dataset = generate(Scenario::Social, &ScenarioConfig { scale: 25, seed: 4 });
+    let dataset = generate(Scenario::Social, &ScenarioConfig::new(25, 4));
     let graph = dataset.build_graph();
     let mut first = Vec::new();
     write_graph(&graph, &mut first).unwrap();
@@ -112,7 +106,7 @@ fn text_serialization_is_stable() {
 /// non-isolated subgraph) must be preserved exactly.
 #[test]
 fn edge_list_preserves_structure() {
-    let dataset = generate(Scenario::Citation, &ScenarioConfig { scale: 30, seed: 2 });
+    let dataset = generate(Scenario::Citation, &ScenarioConfig::new(30, 2));
     let graph = dataset.build_graph();
     let mut buf = Vec::new();
     write_edge_list(&graph, &mut buf).unwrap();
@@ -141,10 +135,7 @@ fn snapshot_round_trips_two_hundred_seeded_scenario_graphs() {
     let mut checked = 0usize;
     for scenario in Scenario::ALL {
         for seed in 0..67u64 {
-            let config = ScenarioConfig {
-                scale: 8 + (seed as usize * 5) % 40,
-                seed,
-            };
+            let config = ScenarioConfig::new(8 + (seed as usize * 5) % 40, seed);
             let graph = generate(scenario, &config).build_graph();
             let loaded = snapshot_round_trip(&graph);
             same_graph(&graph, &loaded).unwrap_or_else(|diff| {
@@ -163,7 +154,7 @@ fn snapshot_round_trips_two_hundred_seeded_scenario_graphs() {
 fn snapshot_round_trips_tombstoned_graphs_slot_exactly() {
     for scenario in Scenario::ALL {
         for seed in [3u64, 17, 40] {
-            let mut graph = generate(scenario, &ScenarioConfig { scale: 30, seed }).build_graph();
+            let mut graph = generate(scenario, &ScenarioConfig::new(30, seed)).build_graph();
             let mut rng = DetRng::seed_from_u64(seed * 1001);
             let nodes: Vec<NodeId> = graph.nodes().collect();
             for _ in 0..nodes.len() / 4 {
@@ -218,10 +209,7 @@ fn snapshot_loads_agree_with_line_loaders_for_checked_in_datasets() {
 /// interchangeable even though they order records differently.
 #[test]
 fn emitted_jsonl_and_saved_jsonl_load_identically() {
-    let dataset = generate(
-        Scenario::ProductCatalog,
-        &ScenarioConfig { scale: 20, seed: 5 },
-    );
+    let dataset = generate(Scenario::ProductCatalog, &ScenarioConfig::new(20, 5));
     let graph = dataset.build_graph();
     let mut saved = Vec::new();
     write_jsonl(&graph, &mut saved).unwrap();

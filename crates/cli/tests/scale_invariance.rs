@@ -1,0 +1,109 @@
+//! Scale-invariance regression: the paper's headline claim, as a test.
+//!
+//! The same seed-pinned bounded workload runs against the same skewed
+//! social scenario at two scales a decade apart. The graph grows ~10x;
+//! the average fragment `|G_Q|` the bounded strategy fetches must stay in
+//! a constant band, because the plan — not the graph — sizes it. A
+//! nightly `--ignored` smoke streams the full million-node scenario to
+//! verify the generator holds its contiguous-id contract at that size.
+
+use bgpq_engine::{
+    discover_schema, AccessIndexSet, DiscoveryConfig, Engine, QueryRequest, Semantics, StrategyKind,
+};
+use bgpq_workload::{
+    generate_with, generate_workload, stream_graph, Record, Scenario, ScenarioConfig,
+    WorkloadConfig,
+};
+
+/// The engine bench's skewed scaling scenario, pinned to one seed.
+fn scaling_scenario(scale: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        zipf: Some(1.1),
+        hot_fraction: Some(0.5),
+        domain: Some(50),
+        ..ScenarioConfig::new(scale, 7)
+    }
+}
+
+/// avg `|G_Q|` (fragment nodes per bounded run) and `|G|` at one scale.
+fn measure(scale: usize) -> (f64, usize) {
+    let graph = stream_graph(Scenario::Social, &scaling_scenario(scale));
+    let schema = discover_schema(&graph, &DiscoveryConfig::simple());
+    // Uncapped: a truncated index would make the engine's filtered planner
+    // refuse queries the generator certified bounded against the schema.
+    let indices = AccessIndexSet::build_with_cap(&graph, &schema, usize::MAX);
+    let config = WorkloadConfig {
+        queries: 8,
+        seed: 0x1CDE_2015,
+        bounded_fraction: 1.0,
+        selectivity: Some(0.5),
+        min_nodes: 3,
+        max_nodes: 5,
+        semantics: Semantics::Isomorphism,
+        shape_weights: [2, 1, 0, 1],
+    };
+    let workload = generate_workload(&graph, &schema, &config).expect("bounded workload generates");
+    let nodes = graph.live_node_count();
+    let engine = Engine::with_indices(graph, indices);
+    let (mut fragment_nodes, mut runs) = (0u64, 0u64);
+    for q in &workload.queries {
+        let request = QueryRequest::build(q.pattern.clone())
+            .strategy(StrategyKind::Bounded)
+            .finish();
+        let response = engine.execute(&request).expect("certified bounded");
+        let fetch = response.stats.fetch.as_ref().expect("bounded runs fetch");
+        fragment_nodes += fetch.fragment_nodes as u64;
+        runs += 1;
+    }
+    (fragment_nodes as f64 / runs as f64, nodes)
+}
+
+/// `|G|` grows 10x, avg `|G_Q|` stays put. Debug builds use a smaller
+/// decade so the test stays CI-sized either way.
+#[test]
+fn fragment_size_is_scale_invariant_across_a_decade() {
+    let scales: [usize; 2] = if cfg!(debug_assertions) {
+        [2_000, 20_000]
+    } else {
+        [10_000, 100_000]
+    };
+    let (small_frag, small_nodes) = measure(scales[0]);
+    let (large_frag, large_nodes) = measure(scales[1]);
+    let graph_growth = large_nodes as f64 / small_nodes as f64;
+    assert!(
+        graph_growth > 3.0,
+        "scenario stopped scaling: |G| {small_nodes} -> {large_nodes}"
+    );
+    let fragment_growth = large_frag / small_frag.max(1.0);
+    assert!(
+        (0.5..=2.0).contains(&fragment_growth),
+        "avg |G_Q| {small_frag:.1} -> {large_frag:.1} ({fragment_growth:.2}x) left the \
+         constant band while |G| grew {graph_growth:.1}x"
+    );
+}
+
+/// Nightly smoke: stream the million-node skewed scenario end to end and
+/// check the sink contract the loaders rely on — node ids contiguous from
+/// zero, every edge endpoint already emitted. Run with `--ignored`.
+#[test]
+#[ignore = "million-node stream; run nightly via cargo test -- --ignored"]
+fn million_node_stream_keeps_ids_contiguous() {
+    let config = scaling_scenario(1_000_000);
+    let mut next_id = 0u64;
+    let mut edges = 0u64;
+    generate_with(Scenario::Social, &config, |record| match record {
+        Record::Node { id, .. } => {
+            assert_eq!(id, next_id, "node ids must be contiguous from 0");
+            next_id += 1;
+        }
+        Record::Edge { src, dst, .. } => {
+            assert!(src < next_id && dst < next_id, "edge before its endpoints");
+            edges += 1;
+        }
+    });
+    assert!(
+        next_id > 1_000_000,
+        "scenario under-emitted: {next_id} nodes"
+    );
+    assert!(edges > 1_000_000, "scenario under-emitted: {edges} edges");
+}

@@ -12,16 +12,20 @@
 //! ```
 
 use bgpq_engine::{
-    discover_schema, load_snapshot, opt_subgraph_match, save_snapshot, AccessConstraint,
-    AccessIndexSet, AccessSchema, CacheOutcome, DiscoveryConfig, Engine, Graph, GraphBuilder,
-    QueryRequest, ShardConfig, StrategyKind, SubgraphMatcher,
+    apply_deltas, discover_schema, load_snapshot, opt_subgraph_match, save_snapshot,
+    AccessConstraint, AccessIndexSet, AccessSchema, CacheOutcome, DiscoveryConfig, Engine, Graph,
+    GraphBuilder, GraphDelta, QueryRequest, Semantics, ShardConfig, StrategyKind, SubgraphMatcher,
 };
 use bgpq_graph::bitset::dedup_with_bitset;
 use bgpq_graph::io::{load_graph, load_graph_snapshot, load_jsonl, save_graph_snapshot};
 use bgpq_graph::{NodeBitSet, NodeId, Value};
 use bgpq_pattern::{Pattern, PatternBuilder, Predicate};
+use bgpq_workload::{
+    generate_workload, stream_graph, ArrivalClock, LatencyHistogram, Scenario, ScenarioConfig,
+    WorkloadConfig,
+};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Benchmark parameters, overridable from the command line.
 struct BenchConfig {
@@ -54,6 +58,27 @@ struct BenchConfig {
     /// (`speedup / min(threads, cores)`) falls below this — the scaling
     /// gate a 1-core CI runner can still enforce meaningfully.
     min_parallel_per_core: Option<f64>,
+    /// Run only the open-loop section (plus the graph/engine it needs) —
+    /// the fast CI gate mode behind `--open-loop`.
+    open_loop_only: bool,
+    /// Offered-load tiers of the open-loop section, queries per second.
+    offered: Vec<u64>,
+    /// Open-loop measurement window per tier.
+    duration_ms: u64,
+    /// Concurrent executor lanes of the open-loop section.
+    lanes: usize,
+    /// Exit non-zero when the *lowest* offered tier's p99 exceeds this many
+    /// milliseconds (higher tiers deliberately overload the engine, so
+    /// their queueing-inflated p99 is data, not a regression signal).
+    max_p99_ms: Option<f64>,
+    /// `|G|` scales of the fragment-scaling section.
+    scales: Vec<usize>,
+    /// Queries per scale in the fragment-scaling workload.
+    workload_queries: usize,
+    /// Exit non-zero when avg `|G_Q|` at the largest scale exceeds this
+    /// multiple of avg `|G_Q|` at the smallest — the scale-invariance gate
+    /// (bounded fragments must not track `|G|`).
+    max_fragment_growth: Option<f64>,
 }
 
 impl BenchConfig {
@@ -74,6 +99,14 @@ impl BenchConfig {
                 threads: 2,
                 min_bitmap_speedup: None,
                 min_parallel_per_core: None,
+                open_loop_only: false,
+                offered: vec![200, 1_000],
+                duration_ms: 150,
+                lanes: 4,
+                max_p99_ms: None,
+                scales: vec![2_000, 10_000, 50_000],
+                workload_queries: 8,
+                max_fragment_growth: None,
             }
         } else {
             BenchConfig {
@@ -88,6 +121,14 @@ impl BenchConfig {
                 threads: 2,
                 min_bitmap_speedup: None,
                 min_parallel_per_core: None,
+                open_loop_only: false,
+                offered: vec![500, 2_000, 8_000],
+                duration_ms: 400,
+                lanes: 4,
+                max_p99_ms: None,
+                scales: vec![10_000, 100_000, 1_000_000],
+                workload_queries: 12,
+                max_fragment_growth: None,
             }
         };
         let mut it = args.iter();
@@ -130,6 +171,36 @@ impl BenchConfig {
                     config.min_parallel_per_core =
                         Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
                 }
+                "--open-loop" => config.open_loop_only = true,
+                "--offered" => {
+                    config.offered = value_for("--offered")?
+                        .split(',')
+                        .map(|s| parse_num(s).map(|n| n as u64))
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "--duration-ms" => {
+                    config.duration_ms = parse_num(&value_for("--duration-ms")?)? as u64
+                }
+                "--lanes" => config.lanes = parse_num(&value_for("--lanes")?)?,
+                "--max-p99-ms" => {
+                    let raw = value_for("--max-p99-ms")?;
+                    config.max_p99_ms =
+                        Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
+                }
+                "--scales" => {
+                    config.scales = value_for("--scales")?
+                        .split(',')
+                        .map(parse_num)
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "--workload-queries" => {
+                    config.workload_queries = parse_num(&value_for("--workload-queries")?)?
+                }
+                "--max-fragment-growth" => {
+                    let raw = value_for("--max-fragment-growth")?;
+                    config.max_fragment_growth =
+                        Some(raw.parse().map_err(|_| format!("not a number: {raw:?}"))?);
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -138,6 +209,12 @@ impl BenchConfig {
         }
         if config.partitions == 0 || config.threads == 0 {
             return Err("--partitions and --threads must be positive".into());
+        }
+        if config.offered.is_empty() || config.duration_ms == 0 || config.lanes == 0 {
+            return Err("--offered, --duration-ms and --lanes must be non-empty".into());
+        }
+        if config.scales.len() < 2 || config.workload_queries == 0 {
+            return Err("--scales needs at least two scales, --workload-queries > 0".into());
         }
         Ok(config)
     }
@@ -496,6 +573,267 @@ fn bench_bitmap_dedup(graph: &Graph, reps: usize) -> BitmapBench {
     }
 }
 
+/// One open-loop tier's outcome.
+struct OpenLoopTier {
+    offered_qps: u64,
+    scheduled: u64,
+    completed: u64,
+    achieved_qps: f64,
+    latency: LatencyHistogram,
+}
+
+/// Open-loop execution directly against the engine: `lanes` executor
+/// threads share one strict arrival clock at `offered` queries per second —
+/// lane `c` owns arrivals `c, c+L, c+2L, …` — and latency is measured from
+/// the *scheduled* arrival, so queueing delay past engine capacity shows up
+/// in the percentiles instead of being absorbed by a coordinating sender
+/// (no coordinated omission). The same clock + histogram drive the TCP
+/// bench in `bgpq-net`; this is the engine-only counterpart.
+fn run_open_loop_tier(
+    engine: &Engine,
+    requests: &[QueryRequest],
+    offered: u64,
+    duration: Duration,
+    lanes: usize,
+) -> OpenLoopTier {
+    let clock = ArrivalClock::new(offered, duration, Duration::from_millis(2));
+    let lane_results: Vec<(u64, u64, LatencyHistogram)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..lanes)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut latency = LatencyHistogram::new();
+                    let (mut completed, mut scheduled) = (0u64, 0u64);
+                    let mut i = c as u64;
+                    while let Some(arrival) = clock.wait_for(i) {
+                        scheduled += 1;
+                        let request = &requests[i as usize % requests.len()];
+                        engine
+                            .execute(request)
+                            .expect("open-loop queries are bounded");
+                        completed += 1;
+                        latency.record(arrival.elapsed().as_micros() as u64);
+                        i += lanes as u64;
+                    }
+                    (completed, scheduled, latency)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lane panicked"))
+            .collect()
+    });
+    let mut tier = OpenLoopTier {
+        offered_qps: offered,
+        scheduled: 0,
+        completed: 0,
+        achieved_qps: 0.0,
+        latency: LatencyHistogram::new(),
+    };
+    for (completed, scheduled, latency) in lane_results {
+        tier.completed += completed;
+        tier.scheduled += scheduled;
+        tier.latency.merge(&latency);
+    }
+    tier.achieved_qps = tier.completed as f64 / duration.as_secs_f64();
+    tier
+}
+
+/// One `|G|` scale of the fragment-scaling sweep.
+struct ScalePoint {
+    scale: usize,
+    nodes: usize,
+    edges: usize,
+    build_ms: f64,
+    queries: usize,
+    avg_fragment_nodes: f64,
+    fragment_fraction: f64,
+    avg_query_us: f64,
+    maintenance_us_per_batch: f64,
+    refreshed_per_batch: f64,
+}
+
+/// The fixed skewed-social recipe of the sweep: one seed and one knob set
+/// pin the graph shape and value domains across every scale, so only `|G|`
+/// varies between the sweep's points.
+fn scaling_scenario(scale: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        zipf: Some(1.1),
+        hot_fraction: Some(0.5),
+        domain: Some(50),
+        ..ScenarioConfig::new(scale, 7)
+    }
+}
+
+/// Fresh-post maintenance batches applied per scale point.
+const MAINTENANCE_BATCHES: usize = 200;
+
+/// Measures `avg |G_Q|` vs `|G|` and the incremental maintenance cost on
+/// the same-seed skewed social scenario at each scale: the paper's two
+/// size-independence claims (fragments bounded by the plan, maintenance
+/// bounded by `|ΔG ∪ Nb(ΔG)|`) as one curve each.
+fn bench_fragment_scaling(scales: &[usize], workload_queries: usize) -> Vec<ScalePoint> {
+    scales
+        .iter()
+        .map(|&scale| {
+            let t = Instant::now();
+            let config = scaling_scenario(scale);
+            let mut graph = stream_graph(Scenario::Social, &config);
+            let schema = discover_schema(&graph, &DiscoveryConfig::simple());
+            // Uncapped build: the workload generator certifies boundedness
+            // against the schema alone, and the engine's planner excludes
+            // constraints whose index truncated at the combination cap — a
+            // truncated index here would turn certified-bounded queries into
+            // refusals. Unary/global constraints keep this O(|E|) regardless.
+            let mut indices = AccessIndexSet::build_with_cap(&graph, &schema, usize::MAX);
+            let build_ms = t.elapsed().as_nanos() as f64 / 1e6;
+
+            // Maintenance-cost curve: absorb fresh post + author + tag edge
+            // batches. Locality says this cost must stay flat as |G| grows.
+            let label = |name: &str| graph.interner().get(name).expect("social label exists");
+            let users: Vec<NodeId> = graph.nodes_with_label(label("user")).to_vec();
+            let tags: Vec<NodeId> = graph.nodes_with_label(label("tag")).to_vec();
+            let mut maintenance_nanos = 0u128;
+            let mut refreshed = 0u64;
+            for i in 0..MAINTENANCE_BATCHES {
+                let p = graph.insert_node("post", Value::Int((scale + i) as i64));
+                let u = users[(i * 31) % users.len()];
+                let tg = tags[(i * 17) % tags.len()];
+                graph.insert_edge(u, p).expect("endpoints exist");
+                graph.insert_edge(p, tg).expect("endpoints exist");
+                let deltas = [
+                    GraphDelta::InsertNode(p),
+                    GraphDelta::InsertEdge(u, p),
+                    GraphDelta::InsertEdge(p, tg),
+                ];
+                let t = Instant::now();
+                let stats = apply_deltas(&mut indices, &graph, &deltas);
+                maintenance_nanos += t.elapsed().as_nanos();
+                refreshed += stats.refreshed_contributions as u64;
+            }
+
+            // Same-seed bounded workload at every scale: identical query
+            // recipe, so avg |G_Q| tracking |G| would be a violation of the
+            // boundedness contract, not workload drift.
+            let wconfig = WorkloadConfig {
+                queries: workload_queries,
+                seed: 0x1CDE_2015,
+                bounded_fraction: 1.0,
+                selectivity: Some(0.5),
+                min_nodes: 3,
+                max_nodes: 5,
+                semantics: Semantics::Isomorphism,
+                shape_weights: [2, 1, 0, 1],
+            };
+            let workload = generate_workload(&graph, &schema, &wconfig)
+                .expect("curated social tier keeps bounded queries generable");
+            let nodes = graph.live_node_count();
+            let edges = graph.edge_count();
+            let engine = Engine::with_indices(graph, indices);
+            let (mut fragment_nodes, mut runs) = (0u64, 0u64);
+            let mut total_nanos = 0u128;
+            for q in &workload.queries {
+                let request = QueryRequest::build(q.pattern.clone())
+                    .strategy(StrategyKind::Bounded)
+                    .finish();
+                let response = engine.execute(&request).expect("workload flagged bounded");
+                total_nanos += response.stats.total_nanos as u128;
+                if let Some(fetch) = &response.stats.fetch {
+                    fragment_nodes += fetch.fragment_nodes as u64;
+                    runs += 1;
+                }
+            }
+            let avg_fragment = fragment_nodes as f64 / runs.max(1) as f64;
+            ScalePoint {
+                scale,
+                nodes,
+                edges,
+                build_ms,
+                queries: workload.queries.len(),
+                avg_fragment_nodes: avg_fragment,
+                fragment_fraction: avg_fragment / nodes.max(1) as f64,
+                avg_query_us: total_nanos as f64 / workload.queries.len().max(1) as f64 / 1e3,
+                maintenance_us_per_batch: maintenance_nanos as f64
+                    / MAINTENANCE_BATCHES as f64
+                    / 1e3,
+                refreshed_per_batch: refreshed as f64 / MAINTENANCE_BATCHES as f64,
+            }
+        })
+        .collect()
+}
+
+/// avg `|G_Q|` at the largest scale over the smallest — the number the
+/// `--max-fragment-growth` gate checks.
+fn fragment_growth(points: &[ScalePoint]) -> f64 {
+    let first = points
+        .first()
+        .map_or(1.0, |p| p.avg_fragment_nodes.max(1.0));
+    let last = points.last().map_or(1.0, |p| p.avg_fragment_nodes.max(1.0));
+    last / first
+}
+
+fn open_loop_json(tiers: &[OpenLoopTier], config: &BenchConfig, cores: usize) -> String {
+    let tier_json: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            format!(
+                "      {{\"offered_qps\": {}, \"scheduled\": {}, \"completed\": {}, \
+                 \"achieved_qps\": {:.0}, \"latency_us\": {{\"p50\": {}, \"p95\": {}, \
+                 \"p99\": {}, \"mean\": {}, \"max\": {}}}}}",
+                t.offered_qps,
+                t.scheduled,
+                t.completed,
+                t.achieved_qps,
+                t.latency.quantile(0.5),
+                t.latency.quantile(0.95),
+                t.latency.quantile(0.99),
+                t.latency.mean(),
+                t.latency.max(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"config\": {{\"duration_ms\": {}, \"lanes\": {}, \"cores\": {}}},\n    \
+         \"tiers\": [\n{}\n    ]\n  }}",
+        config.duration_ms,
+        config.lanes,
+        cores,
+        tier_json.join(",\n")
+    )
+}
+
+fn fragment_scaling_json(points: &[ScalePoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{\"scale\": {}, \"nodes\": {}, \"edges\": {}, \"build_ms\": {:.1}, \
+                 \"queries\": {}, \"avg_fragment_nodes\": {:.1}, \"fragment_fraction\": {:.6}, \
+                 \"avg_query_us\": {:.1}, \"maintenance_us_per_batch\": {:.2}, \
+                 \"refreshed_per_batch\": {:.1}}}",
+                p.scale,
+                p.nodes,
+                p.edges,
+                p.build_ms,
+                p.queries,
+                p.avg_fragment_nodes,
+                p.fragment_fraction,
+                p.avg_query_us,
+                p.maintenance_us_per_batch,
+                p.refreshed_per_batch,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"scenario\": \"social\", \"zipf\": 1.1, \"hot_fraction\": 0.5, \
+         \"domain\": 50,\n    \"maintenance_batches\": {},\n    \"fragment_growth\": {:.3},\n    \
+         \"scales\": [\n{}\n    ]\n  }}",
+        MAINTENANCE_BATCHES,
+        fragment_growth(points),
+        rows.join(",\n")
+    )
+}
+
 /// The query family: award-winning movies of a given year, with their
 /// actors and the actors' countries. Distinct years give distinct patterns
 /// (distinct fingerprints); repeating a year exercises the plan cache.
@@ -639,7 +977,10 @@ fn main() {
                 "usage: bench [--smoke] [--movies N] [--queries K] [--rounds R] \
                  [--partitions P] [--threads T] [--out PATH] [--min-speedup X] \
                  [--min-load-speedup X] [--min-fragment-hit-speedup X] \
-                 [--min-bitmap-speedup X] [--min-parallel-per-core X]"
+                 [--min-bitmap-speedup X] [--min-parallel-per-core X] \
+                 [--open-loop] [--offered Q1,Q2,..] [--duration-ms D] [--lanes L] \
+                 [--max-p99-ms X] [--scales S1,S2,..] [--workload-queries K] \
+                 [--max-fragment-growth X]"
             );
             std::process::exit(2);
         }
@@ -659,6 +1000,63 @@ fn main() {
     let queries: Vec<Pattern> = (0..config.queries)
         .map(|i| build_query(engine.graph(), 2000 + (i % 20) as i64))
         .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Open-loop tiers: a strict arrival grid per offered-load tier, latency
+    // measured from the scheduled arrival (see `run_open_loop_tier`). Plan
+    // caches are warmed untimed so tier 0 doesn't pay the planning cost.
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| {
+            QueryRequest::build(q.clone())
+                .strategy(StrategyKind::Bounded)
+                .finish()
+        })
+        .collect();
+    for request in &requests {
+        engine.execute(request).expect("warm queries are bounded");
+    }
+    let open_loop: Vec<OpenLoopTier> = config
+        .offered
+        .iter()
+        .map(|&offered| {
+            let tier = run_open_loop_tier(
+                &engine,
+                &requests,
+                offered,
+                Duration::from_millis(config.duration_ms),
+                config.lanes,
+            );
+            println!(
+                "open-loop {:>6} qps offered: {:>6.0} achieved on {} lanes, \
+                 p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+                tier.offered_qps,
+                tier.achieved_qps,
+                config.lanes,
+                tier.latency.quantile(0.5) as f64 / 1_000.0,
+                tier.latency.quantile(0.95) as f64 / 1_000.0,
+                tier.latency.quantile(0.99) as f64 / 1_000.0,
+            );
+            tier
+        })
+        .collect();
+    if let Some(max) = config.max_p99_ms {
+        // Gate the lowest tier only: overload tiers queue by design.
+        let p99_ms = open_loop[0].latency.quantile(0.99) as f64 / 1_000.0;
+        if p99_ms > max {
+            eprintln!(
+                "bench: REGRESSION — open_loop p99 at {} offered qps is {p99_ms:.2} ms, \
+                 above the allowed {max:.2} ms (on {cores} cores)",
+                open_loop[0].offered_qps
+            );
+            std::process::exit(1);
+        }
+        println!("bench: open-loop p99 gate passed ({p99_ms:.2} <= {max:.2} ms)");
+    }
+    if config.open_loop_only {
+        println!("open-loop only: skipping comparison sections, report untouched");
+        return;
+    }
 
     let mut vf2 = Timing::default();
     let mut opt = Timing::default();
@@ -729,7 +1127,6 @@ fn main() {
         batch.lookups_deduped
     );
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let partitioned = bench_partitioned(
         &engine,
         &queries,
@@ -758,6 +1155,28 @@ fn main() {
         bitmap.union_len,
         bitmap.unique
     );
+
+    let scaling = bench_fragment_scaling(&config.scales, config.workload_queries);
+    for p in &scaling {
+        println!(
+            "scale {:>8}: |G| = {} nodes / {} edges (built in {:.0} ms), \
+             avg |G_Q| = {:.1} nodes ({:.4}% of |G|), query {:.1} us avg, \
+             maintenance {:.1} us per 3-delta batch ({:.1} contributions)",
+            p.scale,
+            p.nodes,
+            p.edges,
+            p.build_ms,
+            p.avg_fragment_nodes,
+            100.0 * p.fragment_fraction,
+            p.avg_query_us,
+            p.maintenance_us_per_batch,
+            p.refreshed_per_batch,
+        );
+    }
+    let growth = fragment_growth(&scaling);
+    let graph_growth = scaling.last().map_or(1.0, |p| p.nodes as f64)
+        / scaling.first().map_or(1.0, |p| p.nodes.max(1) as f64);
+    println!("fragment scaling: avg |G_Q| grew {growth:.2}x while |G| grew {graph_growth:.0}x");
 
     let loads = bench_snapshot_loads(15);
     for l in &loads {
@@ -796,7 +1215,7 @@ fn main() {
     let vf2_over_bvf2 = vf2.avg_micros() / bounded.avg_micros().max(0.001);
     let report = format!
 (
-        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}, \"cores\": {}, \"partitions\": {}, \"threads\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"bvf2_breakdown\": {{\"fragment_build_us\": {:.1}, \"match_us\": {:.1}}},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"fragment_cache\": {{\"uncached_us\": {:.1}, \"hit_us\": {:.1}, \"hit_speedup\": {:.2}, \"lookups_per_miss\": {}, \"fragment_nodes\": {}}},\n  \"batch\": {{\"sequential_us\": {:.1}, \"batch_us\": {:.1}, \"lookups_sequential\": {}, \"lookups_batched\": {}, \"lookups_deduped\": {}}},\n  \"partitioned\": {{\"partitions\": {}, \"threads\": {}, \"serial_us\": {:.1}, \"parallel_us\": {:.1}, \"speedup\": {:.2}, \"per_core_speedup\": {:.2}}},\n  \"bitmap_dedup\": {{\"sorted_vec_us\": {:.1}, \"bitmap_us\": {:.1}, \"speedup\": {:.2}, \"union_len\": {}, \"unique\": {}}},\n  \"snapshot_load\": {{\n{}\n  }},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
+        "{{\n  \"config\": {{\"movies\": {}, \"queries\": {}, \"rounds\": {}, \"cores\": {}, \"partitions\": {}, \"threads\": {}}},\n  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n  \"algorithms\": {{\n{},\n{},\n{}\n  }},\n  \"bvf2_breakdown\": {{\"fragment_build_us\": {:.1}, \"match_us\": {:.1}}},\n  \"fragment\": {{\"avg_nodes\": {:.1}, \"avg_fraction_of_graph\": {:.5}}},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"fragment_cache\": {{\"uncached_us\": {:.1}, \"hit_us\": {:.1}, \"hit_speedup\": {:.2}, \"lookups_per_miss\": {}, \"fragment_nodes\": {}}},\n  \"batch\": {{\"sequential_us\": {:.1}, \"batch_us\": {:.1}, \"lookups_sequential\": {}, \"lookups_batched\": {}, \"lookups_deduped\": {}}},\n  \"partitioned\": {{\"partitions\": {}, \"threads\": {}, \"serial_us\": {:.1}, \"parallel_us\": {:.1}, \"speedup\": {:.2}, \"per_core_speedup\": {:.2}}},\n  \"bitmap_dedup\": {{\"sorted_vec_us\": {:.1}, \"bitmap_us\": {:.1}, \"speedup\": {:.2}, \"union_len\": {}, \"unique\": {}}},\n  \"snapshot_load\": {{\n{}\n  }},\n  \"open_loop\": {},\n  \"fragment_scaling\": {},\n  \"speedup\": {{\"vf2_over_bvf2\": {:.2}, \"optvf2_over_bvf2\": {:.2}}}\n}}\n",
         config.movies,
         config.queries,
         config.rounds,
@@ -837,6 +1256,8 @@ fn main() {
         bitmap.union_len,
         bitmap.unique,
         snapshot_load_json,
+        open_loop_json(&open_loop, &config, cores),
+        fragment_scaling_json(&scaling),
         vf2_over_bvf2,
         opt.avg_micros() / bounded.avg_micros().max(0.001),
     );
@@ -895,6 +1316,16 @@ fn main() {
             std::process::exit(1);
         }
         println!("bench: partitioned per-core gate passed ({per_core:.2} >= {min:.2})");
+    }
+    if let Some(max) = config.max_fragment_growth {
+        if growth > max {
+            eprintln!(
+                "bench: REGRESSION — fragment_scaling.fragment_growth = {growth:.2} \
+                 exceeds the allowed {max:.2} (avg |G_Q| is tracking |G|)"
+            );
+            std::process::exit(1);
+        }
+        println!("bench: fragment-growth gate passed ({growth:.2} <= {max:.2})");
     }
     if let Some(min) = config.min_load_speedup {
         for l in &loads {

@@ -25,9 +25,10 @@ use bgpq_engine::{AccessConstraint, AccessSchema};
 use bgpq_graph::{Graph, GraphBuilder, Value};
 use bgpq_net::{Client, ErrorCode, LatencyHistogram, NetServer, NetServerConfig, QuerySpec};
 use bgpq_serve::Server;
+use bgpq_workload::ArrivalClock;
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 struct BenchConfig {
     /// Movie clusters in the generated base graph.
@@ -162,9 +163,9 @@ struct TierResult {
 /// One open-loop tier: arrivals on a strict clock at `offered` per second,
 /// spread round-robin over the sender connections.
 fn run_tier(addr: std::net::SocketAddr, config: &BenchConfig, offered: u64) -> TierResult {
-    let interval_nanos = 1_000_000_000 / offered.max(1);
     let duration = Duration::from_millis(config.duration_ms);
-    let start = Instant::now() + Duration::from_millis(5);
+    // A small lead lets every sender connect before arrival 0 is due.
+    let clock = ArrivalClock::new(offered, duration, Duration::from_millis(5));
     let connections = config.connections;
 
     let senders: Vec<_> = (0..connections)
@@ -179,15 +180,7 @@ fn run_tier(addr: std::net::SocketAddr, config: &BenchConfig, offered: u64) -> T
                 let (mut completed, mut rejected, mut scheduled) = (0u64, 0u64, 0u64);
                 // This sender owns arrivals c, c+C, c+2C, …
                 let mut i = c as u64;
-                loop {
-                    let arrival = start + Duration::from_nanos(i * interval_nanos);
-                    if arrival.duration_since(start) >= duration {
-                        break;
-                    }
-                    let now = Instant::now();
-                    if arrival > now {
-                        thread::sleep(arrival - now);
-                    }
+                while let Some(arrival) = clock.wait_for(i) {
                     scheduled += 1;
                     match client.query(&specs[(i as usize / connections) % specs.len()]) {
                         Ok(_) => {
@@ -218,24 +211,10 @@ fn run_tier(addr: std::net::SocketAddr, config: &BenchConfig, offered: u64) -> T
         result.completed += completed;
         result.rejected += rejected;
         result.scheduled += scheduled;
-        result.latency = fold(result.latency, latency);
+        result.latency.merge(&latency);
     }
     result.achieved_qps = result.completed as f64 / duration.as_secs_f64();
     result
-}
-
-/// Folds `b` into `a` through the public API: the `k/count` quantile of `b`
-/// has rank exactly `k`, so replaying those `count` quantile points records
-/// one value per original sample, in that sample's bucket (each lands on
-/// its bucket's upper bound, which maps back to the same bucket). Quantiles
-/// of the fold therefore equal quantiles of the union, to bucket precision.
-fn fold(a: LatencyHistogram, b: LatencyHistogram) -> LatencyHistogram {
-    let mut merged = a;
-    let count = b.count();
-    for k in 1..=count {
-        merged.record(b.quantile(k as f64 / count as f64));
-    }
-    merged
 }
 
 fn main() {

@@ -65,11 +65,15 @@ impl DetRng {
         lo + (self.next_u64() % span) as usize
     }
 
+    /// A uniform float in `[0, 1)` from 53 high-quality bits — the input to
+    /// inverse-CDF sampling (e.g. the scenario generators' zipfian draws).
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
     /// A coin flip that is true with probability `p`.
     pub fn random_bool(&mut self, p: f64) -> bool {
-        // 53 high-quality bits → a float in [0, 1).
-        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        unit < p
+        self.random_f64() < p
     }
 
     /// A uniformly chosen element of `slice`, or `None` when it is empty.
@@ -124,6 +128,19 @@ mod tests {
         assert!((0..100).all(|_| rng.random_bool(1.0)));
         let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
         assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn floats_are_uniform_in_unit_interval() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.random_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean = {mean}");
     }
 
     #[test]

@@ -1,0 +1,917 @@
+//! Schema-driven parameterized query workloads.
+//!
+//! The pattern-level [`bgpq_pattern::WorkloadGenerator`] reproduces the
+//! paper's label-random generator; it knows nothing about access schemas,
+//! so on a big graph almost none of its output is effectively bounded. The
+//! benchmarks in this workspace need the opposite: workloads whose
+//! bounded/unbounded mix, shape mix, size range and predicate selectivity
+//! are *dials*, so "avg `|G_Q|` across scales" measures the paper's claim
+//! instead of generator noise. [`generate_workload`] provides that.
+//!
+//! The generator walks the *cover graph* of a discovered
+//! [`AccessSchema`]: roots are targets of global constraints (populations
+//! small enough to enumerate outright), and a directed cover edge
+//! `l → l'` exists for every unary constraint `(l) → (l', N)`. Any pattern
+//! assembled by walking cover edges from a root is effectively bounded by
+//! construction — exactly the coverage-closure argument of the paper — and
+//! every emitted query is re-verified through [`plan_query`] rather than
+//! trusted. Unbounded queries are built by poisoning a bounded base with a
+//! node no constraint path reaches, and verified to be rejected.
+//!
+//! Pattern *edge directions* are probed from the data graph (a cover edge
+//! says "few `l'` per `l`", not which way the data edge points), so
+//! generated queries usually have matches instead of vacuously empty
+//! fragments.
+//!
+//! Everything is deterministic in the config seed: same graph, same
+//! schema, same config — byte-identical manifest.
+
+use bgpq_access::AccessSchema;
+use bgpq_core::{plan_query, Semantics};
+use bgpq_graph::io::json::{parse_json, write_json_string, Json};
+use bgpq_graph::{Graph, Label, Value};
+use bgpq_pattern::{Atom, DetRng, Op, Pattern, PatternBuilder, Predicate};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// The topology of a generated pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// A directed path through the cover graph.
+    Chain,
+    /// One root with `n − 1` leaves.
+    Star,
+    /// A chain plus a closing edge.
+    Cycle,
+    /// Cover-edge walks branching off any earlier node.
+    Tree,
+}
+
+impl Shape {
+    /// All shapes, in the order of [`WorkloadConfig::shape_weights`].
+    pub const ALL: [Shape; 4] = [Shape::Chain, Shape::Star, Shape::Cycle, Shape::Tree];
+
+    /// The manifest name of the shape.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Chain => "chain",
+            Shape::Star => "star",
+            Shape::Cycle => "cycle",
+            Shape::Tree => "tree",
+        }
+    }
+
+    /// Resolves a manifest name.
+    pub fn from_name(name: &str) -> Option<Shape> {
+        Shape::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dials of a workload generation run.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// RNG seed; workloads are fully deterministic given the seed.
+    pub seed: u64,
+    /// Fraction of queries that must be effectively bounded (the rest are
+    /// verified-unbounded).
+    pub bounded_fraction: f64,
+    /// Target fraction of the root label's nodes its predicate keeps
+    /// (`None` attaches no predicates).
+    pub selectivity: Option<f64>,
+    /// Inclusive lower bound on pattern nodes.
+    pub min_nodes: usize,
+    /// Inclusive upper bound on pattern nodes.
+    pub max_nodes: usize,
+    /// Semantics the boundedness verification plans under.
+    pub semantics: Semantics,
+    /// Relative weights of [`Shape::ALL`] (chain, star, cycle, tree).
+    pub shape_weights: [u32; 4],
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            queries: 20,
+            seed: 0x1CDE_2015,
+            bounded_fraction: 1.0,
+            selectivity: Some(0.5),
+            min_nodes: 3,
+            max_nodes: 6,
+            semantics: Semantics::Isomorphism,
+            shape_weights: [1, 1, 1, 1],
+        }
+    }
+}
+
+/// One generated query with its verification metadata.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// Position in the workload.
+    pub index: usize,
+    /// Requested topology.
+    pub shape: Shape,
+    /// Whether the query was verified effectively bounded (`true`) or
+    /// verified rejected by the planner (`false`).
+    pub bounded: bool,
+    /// Semantics the verification ran under.
+    pub semantics: Semantics,
+    /// The pattern itself.
+    pub pattern: Pattern,
+    /// The pattern in the `bgpq query --pattern` text grammar; parsing it
+    /// back yields `pattern`.
+    pub text: String,
+    /// The selectivity the root predicate aimed for, when predicates are on.
+    pub selectivity_target: Option<f64>,
+    /// The fraction of root-label nodes the root predicate actually keeps.
+    pub selectivity_achieved: Option<f64>,
+    /// The planner's fragment-size bound, for bounded queries.
+    pub worst_case_nodes: Option<u64>,
+}
+
+/// A generated workload: queries plus the manifest rendering.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The generated queries, in manifest order.
+    pub queries: Vec<GeneratedQuery>,
+}
+
+impl Workload {
+    /// Renders the workload as a JSON-lines manifest, one object per query.
+    /// Deterministic: same generation inputs, byte-identical manifest.
+    pub fn to_manifest(&self) -> String {
+        let mut out = String::new();
+        for q in &self.queries {
+            out.push_str(&format!(
+                "{{\"index\":{},\"shape\":\"{}\",\"semantics\":\"{}\",\"bounded\":{},\
+                 \"nodes\":{},\"edges\":{}",
+                q.index,
+                q.shape,
+                semantics_name(q.semantics),
+                q.bounded,
+                q.pattern.node_count(),
+                q.pattern.edge_count(),
+            ));
+            if let Some(w) = q.worst_case_nodes {
+                out.push_str(&format!(",\"worst_case_nodes\":{w}"));
+            }
+            if let Some(t) = q.selectivity_target {
+                out.push_str(&format!(",\"selectivity_target\":{t}"));
+            }
+            if let Some(a) = q.selectivity_achieved {
+                out.push_str(&format!(",\"selectivity_achieved\":{a:.6}"));
+            }
+            out.push_str(",\"pattern\":");
+            write_json_string(&mut out, &q.text);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// How many queries of each shape (indexed like [`Shape::ALL`]).
+    pub fn shape_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for q in &self.queries {
+            let i = Shape::ALL.iter().position(|&s| s == q.shape).unwrap();
+            counts[i] += 1;
+        }
+        counts
+    }
+
+    /// How many queries are flagged bounded.
+    pub fn bounded_count(&self) -> usize {
+        self.queries.iter().filter(|q| q.bounded).count()
+    }
+}
+
+/// One line of a parsed manifest — enough to re-run the query.
+#[derive(Debug, Clone)]
+pub struct ManifestQuery {
+    /// Position in the workload.
+    pub index: usize,
+    /// Topology recorded at generation time, when recognized.
+    pub shape: Option<Shape>,
+    /// Whether the generator verified the query bounded.
+    pub bounded: bool,
+    /// Semantics recorded at generation time.
+    pub semantics: Semantics,
+    /// The pattern text.
+    pub pattern: String,
+}
+
+/// Failure modes of workload generation.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The schema has no global constraint whose target label is populated
+    /// — no root to hang bounded plans off.
+    NoCoveredRoot,
+    /// A bounded pattern could not be assembled (cover graph too sparse).
+    NoBoundedPattern,
+    /// Every label is covered from every attachment point, so no
+    /// verified-unbounded pattern exists.
+    NoUnboundedPattern,
+    /// A manifest line failed to parse.
+    Manifest(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NoCoveredRoot => write!(
+                f,
+                "the access schema has no populated globally-bounded label to root queries at"
+            ),
+            WorkloadError::NoBoundedPattern => write!(
+                f,
+                "no effectively bounded pattern could be assembled from the schema's cover graph"
+            ),
+            WorkloadError::NoUnboundedPattern => write!(
+                f,
+                "every candidate pattern is covered by the schema; no unbounded query exists"
+            ),
+            WorkloadError::Manifest(e) => write!(f, "bad workload manifest: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+fn semantics_name(s: Semantics) -> &'static str {
+    match s {
+        Semantics::Isomorphism => "isomorphism",
+        Semantics::Simulation => "simulation",
+    }
+}
+
+/// Renders `pattern` in the `bgpq query --pattern` text grammar with
+/// `u{i}` node names. [`bgpq_pattern::parse_pattern`] on the result reproduces the
+/// pattern node for node and edge for edge.
+pub fn render_pattern_text(pattern: &Pattern) -> String {
+    let mut out = String::new();
+    for u in pattern.nodes() {
+        out.push_str(&format!("node u{}: {}", u.index(), pattern.label_name(u)));
+        let predicate = pattern.predicate(u);
+        if !predicate.is_empty() {
+            out.push_str(" where ");
+            let parts: Vec<String> = predicate
+                .atoms()
+                .iter()
+                .map(|a| format!("value {} {}", a.op, render_literal(&a.constant)))
+                .collect();
+            out.push_str(&parts.join(" && "));
+        }
+        out.push('\n');
+    }
+    for (s, d) in pattern.edges() {
+        out.push_str(&format!("edge u{} -> u{}\n", s.index(), d.index()));
+    }
+    out
+}
+
+fn render_literal(value: &Value) -> String {
+    match value {
+        Value::Null => "\"\"".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => {
+            let mut token = format!("{x}");
+            // A bare integral token would re-parse as Int; keep it a float.
+            if !token.contains(['.', 'e', 'E']) {
+                token.push_str(".0");
+            }
+            token
+        }
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+            out
+        }
+    }
+}
+
+/// Parses a JSON-lines manifest produced by [`Workload::to_manifest`].
+pub fn parse_manifest(text: &str) -> Result<Vec<ManifestQuery>, WorkloadError> {
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let json = parse_json(line)
+            .map_err(|e| WorkloadError::Manifest(format!("line {}: {e}", lineno + 1)))?;
+        let field = |name: &str| -> Result<Json, WorkloadError> {
+            json.get(name).cloned().ok_or_else(|| {
+                WorkloadError::Manifest(format!("line {}: missing {name}", lineno + 1))
+            })
+        };
+        let semantics = match field("semantics")?.as_str() {
+            Some("simulation") => Semantics::Simulation,
+            Some("isomorphism") => Semantics::Isomorphism,
+            other => {
+                return Err(WorkloadError::Manifest(format!(
+                    "line {}: bad semantics {other:?}",
+                    lineno + 1
+                )))
+            }
+        };
+        queries.push(ManifestQuery {
+            index: field("index")?.as_u64().unwrap_or(0) as usize,
+            shape: field("shape")?.as_str().and_then(Shape::from_name),
+            bounded: field("bounded")?.as_bool().unwrap_or(false),
+            semantics,
+            pattern: field("pattern")?
+                .as_str()
+                .ok_or_else(|| {
+                    WorkloadError::Manifest(format!("line {}: pattern not a string", lineno + 1))
+                })?
+                .to_string(),
+        });
+    }
+    Ok(queries)
+}
+
+/// The label-level cover graph of a schema (see the module docs), plus the
+/// data-probed edge directions the builder consults.
+struct CoverModel {
+    /// Targets of global constraints, populated in the graph; sorted.
+    roots: Vec<Label>,
+    /// `l → targets` for every unary constraint `(l) → target`; targets
+    /// sorted and deduplicated.
+    cover_from: BTreeMap<Label, Vec<Label>>,
+    /// Probed data-edge directions: `Some(true)` when edges run `a → b` in
+    /// the data, `Some(false)` for `b → a`, `None` when no adjacency was
+    /// observed in the sample.
+    directions: BTreeMap<(Label, Label), Option<bool>>,
+}
+
+impl CoverModel {
+    fn build(graph: &Graph, schema: &AccessSchema) -> Self {
+        let populated = |l: Label| graph.label_count(l) > 0;
+        let mut roots: Vec<Label> = schema
+            .iter()
+            .filter(|c| c.is_global() && populated(c.target()))
+            .map(|c| c.target())
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let mut cover_from: BTreeMap<Label, Vec<Label>> = BTreeMap::new();
+        for c in schema.iter() {
+            if let [source] = c.source() {
+                if *source != c.target() && populated(*source) && populated(c.target()) {
+                    cover_from.entry(*source).or_default().push(c.target());
+                }
+            }
+        }
+        for targets in cover_from.values_mut() {
+            targets.sort_unstable();
+            targets.dedup();
+        }
+        CoverModel {
+            roots,
+            cover_from,
+            directions: BTreeMap::new(),
+        }
+    }
+
+    /// The cover successors of `l` that have an observed data adjacency.
+    fn usable_from(&mut self, graph: &Graph, l: Label) -> Vec<Label> {
+        let targets = self.cover_from.get(&l).cloned().unwrap_or_default();
+        targets
+            .into_iter()
+            .filter(|&t| self.direction(graph, l, t).is_some())
+            .collect()
+    }
+
+    /// Probes (and caches) which way data edges between labels `a` and `b`
+    /// point, sampling at most 64 `a`-nodes.
+    fn direction(&mut self, graph: &Graph, a: Label, b: Label) -> Option<bool> {
+        if let Some(&cached) = self.directions.get(&(a, b)) {
+            return cached;
+        }
+        let mut found = None;
+        'outer: for &v in graph.nodes_with_label(a).iter().take(64) {
+            for &w in graph.out_neighbors(v) {
+                if graph.label(w) == b {
+                    found = Some(true);
+                    break 'outer;
+                }
+            }
+            for &w in graph.in_neighbors(v) {
+                if graph.label(w) == b {
+                    found = Some(false);
+                    break 'outer;
+                }
+            }
+        }
+        self.directions.insert((a, b), found);
+        found
+    }
+}
+
+/// A pattern under assembly: labels plus directed edges on node indices.
+struct Draft {
+    labels: Vec<Label>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Draft {
+    fn into_pattern(self, graph: &Graph, root_predicate: Predicate) -> Pattern {
+        let mut builder = PatternBuilder::with_interner(graph.interner().clone());
+        for (i, &label) in self.labels.iter().enumerate() {
+            let predicate = if i == 0 {
+                root_predicate.clone()
+            } else {
+                Predicate::always()
+            };
+            builder.node_labeled(label, predicate);
+        }
+        let ids: Vec<_> = (0..self.labels.len())
+            .map(|i| bgpq_pattern::PatternNodeId(i as u32))
+            .collect();
+        for (s, d) in self.edges {
+            builder.edge(ids[s], ids[d]);
+        }
+        builder.build()
+    }
+}
+
+/// Generates a parameterized workload over `graph` under `schema` (see the
+/// module docs). Every query is verified through [`plan_query`]: bounded
+/// queries plan successfully and carry the planner's fragment bound,
+/// unbounded queries are rejected by the planner.
+pub fn generate_workload(
+    graph: &Graph,
+    schema: &AccessSchema,
+    config: &WorkloadConfig,
+) -> Result<Workload, WorkloadError> {
+    let mut model = CoverModel::build(graph, schema);
+    if model.roots.is_empty() {
+        return Err(WorkloadError::NoCoveredRoot);
+    }
+    let mut rng = DetRng::seed_from_u64(config.seed);
+    let bounded_target =
+        (config.bounded_fraction.clamp(0.0, 1.0) * config.queries as f64).round() as usize;
+    let mut queries = Vec::with_capacity(config.queries);
+    for index in 0..config.queries {
+        let want_bounded = index < bounded_target;
+        let shape = pick_shape(&mut rng, &config.shape_weights);
+        let query = if want_bounded {
+            generate_bounded(graph, schema, config, &mut model, &mut rng, index, shape)?
+        } else {
+            generate_unbounded(graph, schema, config, &mut model, &mut rng, index, shape)?
+        };
+        queries.push(query);
+    }
+    Ok(Workload { queries })
+}
+
+fn pick_shape(rng: &mut DetRng, weights: &[u32; 4]) -> Shape {
+    let total: u32 = weights.iter().sum();
+    if total == 0 {
+        return Shape::Chain;
+    }
+    let mut roll = rng.random_range(0..total as usize) as u32;
+    for (i, &w) in weights.iter().enumerate() {
+        if roll < w {
+            return Shape::ALL[i];
+        }
+        roll -= w;
+    }
+    Shape::Chain
+}
+
+fn pick_size(rng: &mut DetRng, config: &WorkloadConfig) -> usize {
+    let lo = config.min_nodes.max(2);
+    let hi = config.max_nodes.max(lo);
+    if lo >= hi {
+        lo
+    } else {
+        rng.random_range(lo..=hi)
+    }
+}
+
+/// Assembles a draft of the requested shape by walking cover edges from a
+/// root. Returns `None` when the walk starves before reaching two nodes.
+fn draft_shape(
+    graph: &Graph,
+    model: &mut CoverModel,
+    rng: &mut DetRng,
+    shape: Shape,
+    size: usize,
+) -> Option<Draft> {
+    let root = *rng.choose(&model.roots)?;
+    let mut labels = vec![root];
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let add_cover_edge = |model: &mut CoverModel,
+                          labels: &mut Vec<Label>,
+                          edges: &mut Vec<(usize, usize)>,
+                          from: usize,
+                          to_label: Label| {
+        labels.push(to_label);
+        let to = labels.len() - 1;
+        // The cover edge says "few `to_label` per `labels[from]`"; the
+        // pattern edge points the way the data does.
+        match model
+            .direction(graph, labels[from], to_label)
+            .expect("usable_from filtered to observed adjacencies")
+        {
+            true => edges.push((from, to)),
+            false => edges.push((to, from)),
+        }
+    };
+    match shape {
+        Shape::Chain | Shape::Cycle => {
+            let mut current = 0usize;
+            while labels.len() < size {
+                let options = model.usable_from(graph, labels[current]);
+                let Some(&next) = rng.choose(&options) else {
+                    break;
+                };
+                add_cover_edge(model, &mut labels, &mut edges, current, next);
+                current = labels.len() - 1;
+            }
+            if shape == Shape::Cycle && labels.len() >= 3 {
+                // The closing edge only narrows matches; coverage is already
+                // established by the chain. Point it along an observed
+                // adjacency when one exists, else arbitrarily.
+                let last = labels.len() - 1;
+                match model.direction(graph, labels[last], labels[0]) {
+                    Some(true) => edges.push((last, 0)),
+                    Some(false) => edges.push((0, last)),
+                    None => {
+                        if rng.random_bool(0.5) {
+                            edges.push((last, 0));
+                        } else {
+                            edges.push((0, last));
+                        }
+                    }
+                }
+            }
+        }
+        Shape::Star => {
+            let options = model.usable_from(graph, root);
+            if options.is_empty() {
+                return None;
+            }
+            for _ in 1..size {
+                let &leaf = rng.choose(&options).expect("non-empty");
+                add_cover_edge(model, &mut labels, &mut edges, 0, leaf);
+            }
+        }
+        Shape::Tree => {
+            let mut tries = 0;
+            while labels.len() < size && tries < 4 * size {
+                tries += 1;
+                let at = rng.random_range(0..labels.len());
+                let options = model.usable_from(graph, labels[at]);
+                let Some(&next) = rng.choose(&options) else {
+                    continue;
+                };
+                add_cover_edge(model, &mut labels, &mut edges, at, next);
+            }
+        }
+    }
+    if labels.len() < 2 {
+        return None;
+    }
+    Some(Draft { labels, edges })
+}
+
+/// A `lo ≤ value ≤ hi` predicate over a rank window of the root label's
+/// value population, targeting `selectivity`, plus the fraction actually
+/// kept.
+fn selectivity_predicate(
+    graph: &Graph,
+    root: Label,
+    selectivity: f64,
+    rng: &mut DetRng,
+) -> Option<(Predicate, f64)> {
+    let mut values: Vec<&Value> = graph
+        .nodes_with_label(root)
+        .iter()
+        .map(|&v| graph.value(v))
+        .filter(|v| matches!(v, Value::Int(_) | Value::Float(_) | Value::Str(_)))
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    // Mixed-type populations don't window cleanly; keep the majority type.
+    let type_key = |v: &Value| match v {
+        Value::Int(_) => 0u8,
+        Value::Float(_) => 1,
+        _ => 2,
+    };
+    let majority = {
+        let mut counts = [0usize; 3];
+        for v in &values {
+            counts[type_key(v) as usize] += 1;
+        }
+        (0..3).max_by_key(|&i| counts[i]).unwrap() as u8
+    };
+    values.retain(|v| type_key(v) == majority);
+    values.sort_by(|a, b| a.partial_cmp_value(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    let window = ((selectivity.clamp(0.0, 1.0) * n as f64).round() as usize).clamp(1, n);
+    let start = rng.random_range(0..=(n - window));
+    let lo = values[start].clone();
+    let hi = values[start + window - 1].clone();
+    let predicate = Predicate::conjunction(vec![Atom::new(Op::Ge, lo), Atom::new(Op::Le, hi)]);
+    let kept = values.iter().filter(|v| predicate.eval(v)).count();
+    // Achieved selectivity is over the full label population (ties can push
+    // it above the target; that is what the manifest reports).
+    let total = graph.nodes_with_label(root).len();
+    Some((predicate, kept as f64 / total as f64))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_query(
+    graph: &Graph,
+    schema: &AccessSchema,
+    config: &WorkloadConfig,
+    rng: &mut DetRng,
+    index: usize,
+    shape: Shape,
+    draft: Draft,
+    bounded: bool,
+) -> Option<GeneratedQuery> {
+    let root = draft.labels[0];
+    let (predicate, achieved, target) = match config.selectivity {
+        None => (Predicate::always(), None, None),
+        Some(s) => match selectivity_predicate(graph, root, s, rng) {
+            Some((p, a)) => (p, Some(a), Some(s)),
+            None => (Predicate::always(), None, None),
+        },
+    };
+    let pattern = draft.into_pattern(graph, predicate);
+    let plan = plan_query(&pattern, schema, config.semantics);
+    match (bounded, plan) {
+        (true, Ok(plan)) => {
+            let text = render_pattern_text(&pattern);
+            Some(GeneratedQuery {
+                index,
+                shape,
+                bounded: true,
+                semantics: config.semantics,
+                pattern,
+                text,
+                selectivity_target: target,
+                selectivity_achieved: achieved,
+                worst_case_nodes: Some(plan.worst_case_nodes()),
+            })
+        }
+        (false, Err(_)) => {
+            let text = render_pattern_text(&pattern);
+            Some(GeneratedQuery {
+                index,
+                shape,
+                bounded: false,
+                semantics: config.semantics,
+                pattern,
+                text,
+                selectivity_target: target,
+                selectivity_achieved: achieved,
+                worst_case_nodes: None,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn generate_bounded(
+    graph: &Graph,
+    schema: &AccessSchema,
+    config: &WorkloadConfig,
+    model: &mut CoverModel,
+    rng: &mut DetRng,
+    index: usize,
+    shape: Shape,
+) -> Result<GeneratedQuery, WorkloadError> {
+    for _ in 0..64 {
+        let size = pick_size(rng, config);
+        let Some(draft) = draft_shape(graph, model, rng, shape, size) else {
+            continue;
+        };
+        if let Some(q) = finish_query(graph, schema, config, rng, index, shape, draft, true) {
+            return Ok(q);
+        }
+    }
+    Err(WorkloadError::NoBoundedPattern)
+}
+
+/// Builds an unbounded query: a bounded base poisoned with a node the
+/// coverage closure cannot reach, verified rejected by the planner.
+fn generate_unbounded(
+    graph: &Graph,
+    schema: &AccessSchema,
+    config: &WorkloadConfig,
+    model: &mut CoverModel,
+    rng: &mut DetRng,
+    index: usize,
+    shape: Shape,
+) -> Result<GeneratedQuery, WorkloadError> {
+    // Candidate poison labels: populated, not globally covered (a global
+    // constraint would cover the node wherever it sits).
+    let mut poisons: Vec<Label> = graph
+        .interner()
+        .labels()
+        .filter(|&l| graph.label_count(l) > 0 && schema.global_bound(l).is_none())
+        .collect();
+    poisons.sort_unstable();
+    if poisons.is_empty() {
+        return Err(WorkloadError::NoUnboundedPattern);
+    }
+    for _ in 0..64 {
+        let size = pick_size(rng, config).saturating_sub(1).max(2);
+        let Some(mut draft) = draft_shape(graph, model, rng, shape, size) else {
+            continue;
+        };
+        let &poison = rng.choose(&poisons).expect("non-empty");
+        let attach = rng.random_range(0..draft.labels.len());
+        draft.labels.push(poison);
+        let added = draft.labels.len() - 1;
+        // Point the poison edge along the data when possible so the query
+        // is still realizable — just not boundedly evaluable.
+        match model.direction(graph, draft.labels[attach], poison) {
+            Some(true) => draft.edges.push((attach, added)),
+            Some(false) | None => draft.edges.push((added, attach)),
+        }
+        if let Some(q) = finish_query(graph, schema, config, rng, index, shape, draft, false) {
+            return Ok(q);
+        }
+    }
+    // Deterministic last resort: random drafting can starve on unlucky
+    // seeds. A two-node pattern rooted at a poison is unbounded unless a
+    // constraint covers the poison from its single neighbor, so scanning
+    // (poison, anchor, direction) in order finds a verified-unbounded
+    // pattern whenever one exists at size 2 — realizability is sacrificed,
+    // the planner contract is not.
+    let mut anchors: Vec<Label> = graph
+        .interner()
+        .labels()
+        .filter(|&l| graph.label_count(l) > 0)
+        .collect();
+    anchors.sort_unstable();
+    for &poison in &poisons {
+        for &anchor in &anchors {
+            for edges in [vec![(0, 1)], vec![(1, 0)]] {
+                let draft = Draft {
+                    labels: vec![poison, anchor],
+                    edges,
+                };
+                if let Some(q) =
+                    finish_query(graph, schema, config, rng, index, shape, draft, false)
+                {
+                    return Ok(q);
+                }
+            }
+        }
+    }
+    Err(WorkloadError::NoUnboundedPattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+    use crate::stream::stream_graph;
+    use bgpq_access::{discover_schema, DiscoveryConfig};
+    use bgpq_pattern::parse_pattern;
+
+    fn social_fixture() -> (Graph, AccessSchema) {
+        // Scale past the discovery ceiling on global bounds (1000), so the
+        // big labels (user, post) are NOT globally covered and verified-
+        // unbounded queries exist; the domain knob plants the curated
+        // `topic` tier whose small fan-outs root the bounded ones.
+        let config = ScenarioConfig {
+            domain: Some(8),
+            ..ScenarioConfig::new(2000, 3)
+        };
+        let graph = stream_graph(Scenario::Social, &config);
+        let schema = discover_schema(&graph, &DiscoveryConfig::simple());
+        (graph, schema)
+    }
+
+    #[test]
+    fn bounded_workload_plans_and_parses() {
+        let (graph, schema) = social_fixture();
+        let config = WorkloadConfig {
+            queries: 12,
+            ..WorkloadConfig::default()
+        };
+        let workload = generate_workload(&graph, &schema, &config).unwrap();
+        assert_eq!(workload.queries.len(), 12);
+        for q in &workload.queries {
+            assert!(q.bounded);
+            assert!(q.worst_case_nodes.unwrap() > 0);
+            let reparsed = parse_pattern(&q.text, graph.interner().clone()).unwrap();
+            assert_eq!(reparsed.node_count(), q.pattern.node_count(), "{}", q.text);
+            assert_eq!(reparsed.edge_count(), q.pattern.edge_count(), "{}", q.text);
+            assert!(plan_query(&reparsed, &schema, q.semantics).is_ok());
+        }
+    }
+
+    #[test]
+    fn unbounded_queries_are_rejected_by_the_planner() {
+        let (graph, schema) = social_fixture();
+        let config = WorkloadConfig {
+            queries: 10,
+            bounded_fraction: 0.5,
+            ..WorkloadConfig::default()
+        };
+        let workload = generate_workload(&graph, &schema, &config).unwrap();
+        assert_eq!(workload.bounded_count(), 5);
+        for q in workload.queries.iter().filter(|q| !q.bounded) {
+            let reparsed = parse_pattern(&q.text, graph.interner().clone()).unwrap();
+            assert!(
+                plan_query(&reparsed, &schema, q.semantics).is_err(),
+                "unbounded-flagged query planned: {}",
+                q.text
+            );
+        }
+    }
+
+    #[test]
+    fn manifests_are_deterministic_and_round_trip() {
+        let (graph, schema) = social_fixture();
+        let config = WorkloadConfig {
+            queries: 8,
+            bounded_fraction: 0.75,
+            ..WorkloadConfig::default()
+        };
+        let a = generate_workload(&graph, &schema, &config).unwrap();
+        let b = generate_workload(&graph, &schema, &config).unwrap();
+        assert_eq!(a.to_manifest(), b.to_manifest());
+        let parsed = parse_manifest(&a.to_manifest()).unwrap();
+        assert_eq!(parsed.len(), 8);
+        for (m, q) in parsed.iter().zip(&a.queries) {
+            assert_eq!(m.index, q.index);
+            assert_eq!(m.bounded, q.bounded);
+            assert_eq!(m.shape, Some(q.shape));
+            assert_eq!(m.pattern, q.text);
+        }
+        let other = generate_workload(
+            &graph,
+            &schema,
+            &WorkloadConfig {
+                seed: 999,
+                ..config
+            },
+        )
+        .unwrap();
+        assert_ne!(a.to_manifest(), other.to_manifest());
+    }
+
+    #[test]
+    fn selectivity_targets_are_respected() {
+        let (graph, schema) = social_fixture();
+        for target in [0.2, 0.8] {
+            let config = WorkloadConfig {
+                queries: 10,
+                selectivity: Some(target),
+                ..WorkloadConfig::default()
+            };
+            let workload = generate_workload(&graph, &schema, &config).unwrap();
+            for q in &workload.queries {
+                let Some(achieved) = q.selectivity_achieved else {
+                    continue;
+                };
+                assert!(
+                    achieved >= target - 0.05 && achieved <= (target + 0.3).min(1.0),
+                    "target {target}, achieved {achieved}: {}",
+                    q.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_weights_steer_the_mix() {
+        let (graph, schema) = social_fixture();
+        let config = WorkloadConfig {
+            queries: 30,
+            shape_weights: [1, 0, 0, 0],
+            ..WorkloadConfig::default()
+        };
+        let workload = generate_workload(&graph, &schema, &config).unwrap();
+        assert_eq!(workload.shape_counts(), [30, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,973 @@
+//! Built-in scenario generators: diverse synthetic workloads.
+//!
+//! The paper evaluates bounded evaluation on IMDb, DBpedia and WebBase —
+//! graphs with very different label schemas and degree shapes. The three
+//! scenarios here reproduce that diversity without shipping gigabytes:
+//!
+//! * [`Scenario::Social`] — users, posts, tags, cities. Follower edges use
+//!   preferential attachment, so user degree is heavily skewed (hubs), while
+//!   `user → city` is a functional dependency (bound 1).
+//! * [`Scenario::Citation`] — papers (with year values), authors, venues.
+//!   Citations only point to older papers (a DAG) with a small uniform
+//!   out-degree; `paper → venue` is an FD; venues and years are
+//!   low-cardinality labels, the shape type-1 constraints like.
+//! * [`Scenario::ProductCatalog`] — products (float prices), brands, a
+//!   category tree, customers and reviews (integer ratings). Review
+//!   in-degree per product is skewed; `product → brand` and
+//!   `review → product` are FDs.
+//!
+//! A generator emits a flat [`Record`] stream. Both consumption paths share
+//! it: [`Dataset::build_graph`] feeds the records straight into a
+//! [`GraphBuilder`], while [`Dataset::to_text`] / [`Dataset::to_jsonl`]
+//! render the records in the interchange formats that the `bgpq-graph::io`
+//! loaders read back. The loader-vs-generator equivalence tests assert the
+//! two paths produce identical graphs, so datasets written by `bgpq gen`
+//! and graphs built in memory can never drift apart.
+//!
+//! # Skew knobs
+//!
+//! Three optional [`ScenarioConfig`] knobs reshape a scenario without
+//! touching its label schema. All default to `None`, and with every knob
+//! unset the record stream is byte-identical to what earlier releases
+//! produced, so checked-in datasets and determinism suites keep passing.
+//!
+//! * [`zipf`](ScenarioConfig::zipf) — replaces the stock skewed draw
+//!   (minimum of three uniforms) with a zipfian draw of the given exponent
+//!   `s`: index `k` is picked with probability `∝ (k+1)^-s`. Larger
+//!   exponents concentrate follower / authorship / review edges on fewer,
+//!   hotter hubs — the degree shape of real social graphs.
+//! * [`hot_fraction`](ScenarioConfig::hot_fraction) — sends the given
+//!   fraction of domain-label references (cities, tags, venues, brands,
+//!   categories) to the first tenth of that label's population, so a few
+//!   "hot" values dominate — the value-skew that makes selectivity targets
+//!   interesting.
+//! * [`domain`](ScenarioConfig::domain) — fixes the cardinality of the
+//!   domain labels at `d` (instead of growing them with scale) and bounds
+//!   node values to a domain of `20·d` distinct values. It also plants a
+//!   small curated hub tier per scenario — `topic` (social), `area`
+//!   (citation), `collection` (products) — `d` nodes whose only edges are a
+//!   handful of hand-picked references into the large populations. Those
+//!   tiers give schema discovery small-bound constraints such as
+//!   `(topic) → user ≤ 3`, the anchors from which scale-invariant bounded
+//!   query plans hang; without them a million-node graph has no small
+//!   constraint path into its large labels and bounded evaluation has
+//!   nothing to grab.
+
+use bgpq_graph::io::{format_value, json::json_float_token, json::write_json_string};
+use bgpq_graph::{Graph, GraphBuilder, NodeId, Value};
+use bgpq_pattern::DetRng;
+use std::fmt;
+
+/// The built-in dataset scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Social network: skewed follower degrees, `user → city` FD.
+    Social,
+    /// Citation network: year-ordered citation DAG, `paper → venue` FD.
+    Citation,
+    /// Product catalog: category tree, float prices, review ratings.
+    ProductCatalog,
+}
+
+impl Scenario {
+    /// All scenarios, in a stable order.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::Social,
+        Scenario::Citation,
+        Scenario::ProductCatalog,
+    ];
+
+    /// The CLI name of the scenario.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Social => "social",
+            Scenario::Citation => "citation",
+            Scenario::ProductCatalog => "products",
+        }
+    }
+
+    /// Resolves a CLI name.
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// One-line description for `bgpq gen --help`-style listings.
+    pub fn description(self) -> &'static str {
+        match self {
+            Scenario::Social => "users/posts/tags/cities; preferential-attachment follower graph",
+            Scenario::Citation => "papers/authors/venues; year-ordered citation DAG",
+            Scenario::ProductCatalog => {
+                "products/brands/categories/customers/reviews; category tree"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Knobs of a scenario generation run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The scenario's primary population (users, papers, products). The
+    /// other populations are derived from it.
+    pub scale: usize,
+    /// Seed of the deterministic generator: same seed, same dataset.
+    pub seed: u64,
+    /// Zipf exponent for hub-degree draws (follower targets, post authors,
+    /// review targets). `None` keeps the stock min-of-three-uniforms skew.
+    pub zipf: Option<f64>,
+    /// Fraction of domain-label references concentrated on the hottest
+    /// tenth of the label's population. `None` keeps references uniform.
+    pub hot_fraction: Option<f64>,
+    /// Fixed cardinality for domain labels plus a curated hub tier (see the
+    /// module docs). `None` derives domain cardinalities from `scale` and
+    /// plants no hub tier.
+    pub domain: Option<usize>,
+}
+
+impl ScenarioConfig {
+    /// A config with the given scale and seed and every skew knob unset —
+    /// the stream such a config generates is byte-identical to what
+    /// pre-knob releases produced.
+    pub fn new(scale: usize, seed: u64) -> Self {
+        ScenarioConfig {
+            scale,
+            seed,
+            zipf: None,
+            hot_fraction: None,
+            domain: None,
+        }
+    }
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig::new(100, 42)
+    }
+}
+
+/// One record of a generated dataset, in the vocabulary of the JSONL
+/// loader: a labeled, valued node or a directed edge between external ids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A node declaration.
+    Node {
+        /// External id (contiguous from 0 in generated datasets).
+        id: u64,
+        /// Label name.
+        label: &'static str,
+        /// Attribute value.
+        value: Value,
+    },
+    /// A directed edge between two declared nodes.
+    Edge {
+        /// Source external id.
+        src: u64,
+        /// Destination external id.
+        dst: u64,
+    },
+}
+
+impl Record {
+    /// Appends this record's `n`/`e` text line (the shape
+    /// `bgpq-graph::io::read_graph` parses) to `out`.
+    pub fn render_text(&self, out: &mut String) {
+        match self {
+            Record::Node { id, label, value } => match format_value(value) {
+                None => out.push_str(&format!("n\t{id}\t{label}\n")),
+                Some(token) => out.push_str(&format!("n\t{id}\t{label}\t{token}\n")),
+            },
+            Record::Edge { src, dst } => out.push_str(&format!("e\t{src}\t{dst}\n")),
+        }
+    }
+
+    /// Appends this record's JSON line (the shape
+    /// `bgpq-graph::io::read_jsonl` parses) to `out`.
+    pub fn render_jsonl(&self, out: &mut String) {
+        match self {
+            Record::Node { id, label, value } => {
+                out.push_str(&format!("{{\"type\":\"node\",\"id\":{id},\"label\":"));
+                write_json_string(out, label);
+                match value {
+                    Value::Null => {}
+                    Value::Bool(b) => out.push_str(&format!(",\"value\":{b}")),
+                    Value::Int(i) => out.push_str(&format!(",\"value\":{i}")),
+                    Value::Float(x) => {
+                        let token =
+                            json_float_token(*x).expect("generators only produce finite floats");
+                        out.push_str(",\"value\":");
+                        out.push_str(&token);
+                    }
+                    Value::Str(s) => {
+                        out.push_str(",\"value\":");
+                        write_json_string(out, s);
+                    }
+                }
+                out.push_str("}\n");
+            }
+            Record::Edge { src, dst } => {
+                out.push_str(&format!(
+                    "{{\"type\":\"edge\",\"src\":{src},\"dst\":{dst}}}\n"
+                ));
+            }
+        }
+    }
+}
+
+/// The `# bgpq scenario dataset: ...` comment line text-format outputs
+/// start with (loaders skip `#` lines). Knobs appear only when set, so
+/// knobless headers are byte-identical to pre-knob releases.
+pub fn text_header(scenario: Scenario, config: &ScenarioConfig) -> String {
+    let mut knobs = String::new();
+    if let Some(z) = config.zipf {
+        knobs.push_str(&format!(", zipf {z}"));
+    }
+    if let Some(h) = config.hot_fraction {
+        knobs.push_str(&format!(", hot {h}"));
+    }
+    if let Some(d) = config.domain {
+        knobs.push_str(&format!(", domain {d}"));
+    }
+    format!(
+        "# bgpq scenario dataset: {} (scale {}, seed {}{})\n",
+        scenario, config.scale, config.seed, knobs
+    )
+}
+
+/// A generated dataset: the scenario it came from and its record stream.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    scenario: Scenario,
+    config: ScenarioConfig,
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// The scenario this dataset was generated from.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// The generation knobs used.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The raw record stream.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Builds the graph directly through [`GraphBuilder`] — the synthetic
+    /// path. Node records map to [`NodeId`]s in record order, which is the
+    /// same order the loaders assign, so this graph is identical to loading
+    /// [`Dataset::to_text`] or [`Dataset::to_jsonl`].
+    pub fn build_graph(&self) -> Graph {
+        let nodes = self
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Node { .. }))
+            .count();
+        let mut builder = GraphBuilder::with_capacity(nodes, self.records.len() - nodes);
+        let mut ids: std::collections::HashMap<u64, NodeId> =
+            std::collections::HashMap::with_capacity(nodes);
+        for record in &self.records {
+            match record {
+                Record::Node { id, label, value } => {
+                    let node = builder.add_node(label, value.clone());
+                    ids.insert(*id, node);
+                }
+                Record::Edge { .. } => {}
+            }
+        }
+        let resolve = |external: u64| -> NodeId {
+            *ids.get(&external)
+                .expect("generated edges reference generated nodes")
+        };
+        for record in &self.records {
+            if let Record::Edge { src, dst } = record {
+                builder
+                    .add_edge(resolve(*src), resolve(*dst))
+                    .expect("generated endpoints exist");
+            }
+        }
+        builder.build()
+    }
+
+    /// Renders the dataset in the `n`/`e` text format (tab-separated), the
+    /// shape `bgpq-graph::io::read_graph` parses.
+    pub fn to_text(&self) -> String {
+        let mut out = text_header(self.scenario, &self.config);
+        for record in &self.records {
+            record.render_text(&mut out);
+        }
+        out
+    }
+
+    /// Renders the dataset in the JSON-lines format, the shape
+    /// `bgpq-graph::io::read_jsonl` parses.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            record.render_jsonl(&mut out);
+        }
+        out
+    }
+}
+
+/// Checks that two graphs are identical node for node — same live node
+/// count, and per node id the same label name and attribute value, with the
+/// same edge set. Returns a description of the first difference. Used by
+/// the loader-vs-generator equivalence suite: the graph a loader produces
+/// from an emitted dataset must be indistinguishable from the directly
+/// built one.
+pub fn same_graph(a: &Graph, b: &Graph) -> Result<(), String> {
+    if a.live_node_count() != b.live_node_count() {
+        return Err(format!(
+            "node counts differ: {} vs {}",
+            a.live_node_count(),
+            b.live_node_count()
+        ));
+    }
+    if a.edge_count() != b.edge_count() {
+        return Err(format!(
+            "edge counts differ: {} vs {}",
+            a.edge_count(),
+            b.edge_count()
+        ));
+    }
+    for v in a.nodes().filter(|&v| a.is_live(v)) {
+        if !b.is_live(v) {
+            return Err(format!("node {} is live on one side only", v.0));
+        }
+        if a.label_name(v) != b.label_name(v) {
+            return Err(format!(
+                "labels of node {} differ: {:?} vs {:?}",
+                v.0,
+                a.label_name(v),
+                b.label_name(v)
+            ));
+        }
+        if a.value(v) != b.value(v) {
+            return Err(format!(
+                "values of node {} differ: {:?} vs {:?}",
+                v.0,
+                a.value(v),
+                b.value(v)
+            ));
+        }
+    }
+    let edges = |g: &Graph| -> Vec<(u32, u32)> {
+        let mut e: Vec<(u32, u32)> = g.edges().map(|e| (e.src.0, e.dst.0)).collect();
+        e.sort_unstable();
+        e
+    };
+    if edges(a) != edges(b) {
+        return Err("edge sets differ".into());
+    }
+    Ok(())
+}
+
+/// Generates a dataset for `scenario` under `config`, buffering the record
+/// stream. Fully deterministic: the record stream is a function of
+/// `(scenario, config)`.
+pub fn generate(scenario: Scenario, config: &ScenarioConfig) -> Dataset {
+    let mut records = Vec::new();
+    generate_with(scenario, config, |record| records.push(record));
+    Dataset {
+        scenario,
+        config: config.clone(),
+        records,
+    }
+}
+
+/// Streams the record stream of `scenario` under `config` through `emit`,
+/// one record at a time and in the exact order [`generate`] buffers them —
+/// nothing is retained between calls, so `bgpq gen --scale N` can write
+/// arbitrarily large datasets in constant memory. Every node record is
+/// emitted before any edge record referencing it, and node ids are
+/// contiguous from 0 in emission order; [`crate::stream::GraphSink`] relies
+/// on both invariants.
+pub fn generate_with<F: FnMut(Record)>(scenario: Scenario, config: &ScenarioConfig, mut emit: F) {
+    let mut gen = Generator {
+        rng: DetRng::seed_from_u64(config.seed ^ (scenario as u64) << 32),
+        emit: &mut emit,
+        next_id: 0,
+        zipf: config.zipf,
+        hot_fraction: config.hot_fraction,
+        domain: config.domain,
+    };
+    match scenario {
+        Scenario::Social => gen.social(config.scale.max(2)),
+        Scenario::Citation => gen.citation(config.scale.max(2)),
+        Scenario::ProductCatalog => gen.product_catalog(config.scale.max(2)),
+    }
+}
+
+/// Fan-out of every curated `topic → user` reference bundle (social).
+pub const TOPIC_USER_REFS: usize = 3;
+/// Fan-out of every curated `topic → post` reference bundle (social).
+pub const TOPIC_POST_REFS: usize = 2;
+/// Fan-out of every curated `area → author` reference bundle (citation).
+pub const AREA_AUTHOR_REFS: usize = 2;
+/// Fan-out of every curated `area → paper` reference bundle (citation).
+pub const AREA_PAPER_REFS: usize = 3;
+/// Fan-out of every curated `collection → product` bundle (products).
+pub const COLLECTION_PRODUCT_REFS: usize = 4;
+
+struct Generator<'a> {
+    rng: DetRng,
+    emit: &'a mut dyn FnMut(Record),
+    next_id: u64,
+    zipf: Option<f64>,
+    hot_fraction: Option<f64>,
+    domain: Option<usize>,
+}
+
+impl Generator<'_> {
+    fn node(&mut self, label: &'static str, value: Value) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        (self.emit)(Record::Node { id, label, value });
+        id
+    }
+
+    fn edge(&mut self, src: u64, dst: u64) {
+        (self.emit)(Record::Edge { src, dst });
+    }
+
+    /// A hub-degree draw over `0..n`, skewed towards small indices. With the
+    /// `zipf` knob unset this is the stock minimum of three uniform draws
+    /// (density `∝ (1 - x)²`), the cheap stand-in for preferential
+    /// attachment; with `zipf = Some(s)` it is a zipfian draw of exponent
+    /// `s` via the inverse CDF of the continuous power law on `[1, n]`.
+    fn skewed(&mut self, n: usize) -> usize {
+        match self.zipf {
+            None => self
+                .rng
+                .random_range(0..n)
+                .min(self.rng.random_range(0..n))
+                .min(self.rng.random_range(0..n)),
+            Some(s) => {
+                let u = self.rng.random_f64();
+                let nf = n as f64;
+                let x = if (s - 1.0).abs() < 1e-9 {
+                    // s = 1: CDF ∝ ln x, inverse n^u.
+                    (u * nf.ln()).exp()
+                } else {
+                    ((nf.powf(1.0 - s) - 1.0) * u + 1.0).powf(1.0 / (1.0 - s))
+                };
+                (x.floor() as usize).clamp(1, n) - 1
+            }
+        }
+    }
+
+    /// A domain-label reference over `0..n`. With the `hot_fraction` knob
+    /// unset this is one uniform draw (byte-identical RNG stream to the
+    /// knobless generator); with `hot_fraction = Some(h)` a fraction `h` of
+    /// the references lands on the hottest tenth of the population.
+    fn domain_pick(&mut self, n: usize) -> usize {
+        match self.hot_fraction {
+            None => self.rng.random_range(0..n),
+            Some(h) => {
+                let hot = (n / 10).max(1);
+                if self.rng.random_bool(h) {
+                    self.rng.random_range(0..hot)
+                } else {
+                    self.rng.random_range(0..n)
+                }
+            }
+        }
+    }
+
+    /// A node value from the configured value domain (identity without the
+    /// `domain` knob, `i mod 20·d` with it).
+    fn domain_value(&self, i: usize) -> i64 {
+        match self.domain {
+            None => i as i64,
+            Some(d) => (i % (d.max(1) * 20)) as i64,
+        }
+    }
+
+    /// `k` draws over `0..n`, distinct when feasible (bounded retries keep
+    /// streaming O(1) per draw; a duplicate only ever repeats an edge, which
+    /// cannot raise a fan-out bound).
+    fn distinct_picks(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut picks = Vec::with_capacity(k);
+        while picks.len() < k {
+            let mut tries = 0;
+            loop {
+                let p = self.rng.random_range(0..n);
+                if !picks.contains(&p) || tries >= 16 {
+                    picks.push(p);
+                    break;
+                }
+                tries += 1;
+            }
+        }
+        picks
+    }
+
+    fn social(&mut self, users: usize) {
+        let (cities, tags) = match self.domain {
+            None => ((users / 25).max(3), (users / 10).max(5)),
+            Some(d) => (d.max(1), (2 * d).max(1)),
+        };
+        let posts = users * 2;
+
+        let city_ids: Vec<u64> = (0..cities)
+            .map(|i| self.node("city", Value::str(format!("city-{i}"))))
+            .collect();
+        let tag_ids: Vec<u64> = (0..tags)
+            .map(|i| self.node("tag", Value::str(format!("tag-{i}"))))
+            .collect();
+        let first_user = self.next_id;
+        for i in 0..users {
+            let value = Value::Int(self.domain_value(i));
+            self.node("user", value);
+        }
+        let first_post = self.next_id;
+        for i in 0..posts {
+            let value = Value::Int(self.domain_value(i));
+            self.node("post", value);
+        }
+        let user_id = |i: usize| first_user + i as u64;
+        let post_id = |i: usize| first_post + i as u64;
+
+        // user → city: everyone lives somewhere, exactly one city (an FD).
+        for i in 0..users {
+            let c = city_ids[self.domain_pick(cities)];
+            self.edge(user_id(i), c);
+        }
+        // user → user follows, preferentially attached to early users.
+        for i in 1..users {
+            let follows = 1 + self.rng.random_range(0..=2);
+            for _ in 0..follows {
+                let target = self.skewed(i);
+                self.edge(user_id(i), user_id(target));
+            }
+        }
+        // user → post authorship: hubs author more.
+        for i in 0..posts {
+            let author = self.skewed(users);
+            self.edge(user_id(author), post_id(i));
+        }
+        // post → tag: one to three tags.
+        for i in 0..posts {
+            let k = 1 + self.rng.random_range(0..=2);
+            for _ in 0..k {
+                let t = tag_ids[self.domain_pick(tags)];
+                self.edge(post_id(i), t);
+            }
+        }
+        // Curated hub tier: each topic references a handful of users and
+        // posts, giving discovery small (topic) → user/post bounds.
+        if let Some(d) = self.domain {
+            for i in 0..d.max(1) {
+                let t = self.node("topic", Value::Int(i as i64));
+                for u in self.distinct_picks(users, TOPIC_USER_REFS) {
+                    self.edge(t, user_id(u));
+                }
+                for p in self.distinct_picks(posts, TOPIC_POST_REFS) {
+                    self.edge(t, post_id(p));
+                }
+            }
+        }
+    }
+
+    fn citation(&mut self, papers: usize) {
+        let venues = match self.domain {
+            None => (papers / 30).max(4),
+            Some(d) => d.max(1),
+        };
+        let authors = (papers / 2).max(3);
+
+        let venue_ids: Vec<u64> = (0..venues)
+            .map(|i| self.node("venue", Value::str(format!("venue-{i}"))))
+            .collect();
+        let first_author = self.next_id;
+        for i in 0..authors {
+            let value = Value::Int(self.domain_value(i));
+            self.node("author", value);
+        }
+        let first_paper = self.next_id;
+        for i in 0..papers {
+            let year = 1980 + (i * 40 / papers) as i64;
+            self.node("paper", Value::Int(year));
+        }
+        let author_id = |i: usize| first_author + i as u64;
+        let paper_id = |i: usize| first_paper + i as u64;
+
+        for i in 0..papers {
+            let p = paper_id(i);
+            // paper → venue: exactly one (an FD).
+            let v = venue_ids[self.domain_pick(venues)];
+            self.edge(p, v);
+            // author → paper: one to three authors.
+            let k = 1 + self.rng.random_range(0..=2);
+            for _ in 0..k {
+                let a = author_id(self.rng.random_range(0..authors));
+                self.edge(a, p);
+            }
+            // paper → paper: cite up to five strictly older papers
+            // (uniform, so citation out-degree stays flat — unlike the
+            // social scenario's skewed follower degrees).
+            if i > 0 {
+                let cites = 1 + self.rng.random_range(0..=4.min(i - 1));
+                for _ in 0..cites {
+                    let older = self.rng.random_range(0..i);
+                    self.edge(p, paper_id(older));
+                }
+            }
+        }
+        // Curated hub tier: each research area references a couple of
+        // authors and papers.
+        if let Some(d) = self.domain {
+            for i in 0..d.max(1) {
+                let area = self.node("area", Value::Int(i as i64));
+                for a in self.distinct_picks(authors, AREA_AUTHOR_REFS) {
+                    self.edge(area, author_id(a));
+                }
+                for p in self.distinct_picks(papers, AREA_PAPER_REFS) {
+                    self.edge(area, paper_id(p));
+                }
+            }
+        }
+    }
+
+    fn product_catalog(&mut self, products: usize) {
+        let (brands, categories) = match self.domain {
+            None => ((products / 12).max(4), (products / 10).max(6)),
+            Some(d) => (d.max(1), (2 * d).max(2)),
+        };
+        let customers = (products / 2).max(5);
+        let reviews = products * 2;
+
+        let brand_ids: Vec<u64> = (0..brands)
+            .map(|i| self.node("brand", Value::str(format!("brand-{i}"))))
+            .collect();
+        let category_ids: Vec<u64> = (0..categories)
+            .map(|i| self.node("category", Value::str(format!("category-{i}"))))
+            .collect();
+        // category → category: a tree, every non-root points at an earlier
+        // parent.
+        for i in 1..categories {
+            let parent = category_ids[self.rng.random_range(0..i)];
+            self.edge(category_ids[i], parent);
+        }
+        let first_product = self.next_id;
+        for _ in 0..products {
+            let cents = match self.domain {
+                None => self.rng.random_range(99..=99_99) as f64,
+                // A fixed domain of 20·d distinct price points.
+                Some(d) => (self.rng.random_range(0..d.max(1) * 20) * 100 + 99) as f64,
+            };
+            self.node("product", Value::Float(cents / 100.0));
+        }
+        let product_id = |i: usize| first_product + i as u64;
+        for i in 0..products {
+            let p = product_id(i);
+            // product → brand: exactly one (an FD).
+            let b = brand_ids[self.domain_pick(brands)];
+            self.edge(p, b);
+            // product → category: one or two.
+            let k = 1 + self.rng.random_range(0..=1);
+            for _ in 0..k {
+                let c = category_ids[self.domain_pick(categories)];
+                self.edge(p, c);
+            }
+        }
+        let first_customer = self.next_id;
+        for i in 0..customers {
+            let value = Value::Int(self.domain_value(i));
+            self.node("customer", value);
+        }
+        let customer_id = |i: usize| first_customer + i as u64;
+        for _ in 0..reviews {
+            let rating = 1 + self.rng.random_range(0..=4) as i64;
+            let r = self.node("review", Value::Int(rating));
+            let c = customer_id(self.rng.random_range(0..customers));
+            self.edge(c, r);
+            // review → product: popular products collect more reviews.
+            let p = product_id(self.skewed(products));
+            self.edge(r, p);
+        }
+        // Curated hub tier: each collection references a few products.
+        if let Some(d) = self.domain {
+            for i in 0..d.max(1) {
+                let col = self.node("collection", Value::Int(i as i64));
+                for p in self.distinct_picks(products, COLLECTION_PRODUCT_REFS) {
+                    self.edge(col, product_id(p));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = ScenarioConfig::default();
+        for scenario in Scenario::ALL {
+            let a = generate(scenario, &config);
+            let b = generate(scenario, &config);
+            assert_eq!(a.records(), b.records(), "{scenario} not deterministic");
+            let other = generate(
+                scenario,
+                &ScenarioConfig {
+                    seed: 7,
+                    ..config.clone()
+                },
+            );
+            assert_ne!(a.records(), other.records(), "{scenario} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn knobbed_generation_is_deterministic_and_differs() {
+        let base = ScenarioConfig::new(120, 5);
+        let knobbed = ScenarioConfig {
+            zipf: Some(1.2),
+            hot_fraction: Some(0.8),
+            domain: Some(7),
+            ..base.clone()
+        };
+        for scenario in Scenario::ALL {
+            let a = generate(scenario, &knobbed);
+            let b = generate(scenario, &knobbed);
+            assert_eq!(a.records(), b.records(), "{scenario} knobs not seed-stable");
+            let plain = generate(scenario, &base);
+            assert_ne!(a.records(), plain.records(), "{scenario} knobs ignored");
+        }
+    }
+
+    #[test]
+    fn scenarios_have_distinct_label_schemas() {
+        let config = ScenarioConfig::new(40, 1);
+        let labels = |s: Scenario, c: &ScenarioConfig| -> Vec<String> {
+            let g = generate(s, c).build_graph();
+            let mut names: Vec<String> = g
+                .interner()
+                .iter()
+                .map(|(_, name)| name.to_string())
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(
+            labels(Scenario::Social, &config),
+            ["city", "post", "tag", "user"]
+        );
+        assert_eq!(
+            labels(Scenario::Citation, &config),
+            ["author", "paper", "venue"]
+        );
+        assert_eq!(
+            labels(Scenario::ProductCatalog, &config),
+            ["brand", "category", "customer", "product", "review"]
+        );
+        // The domain knob adds exactly the curated hub label.
+        let domained = ScenarioConfig {
+            domain: Some(4),
+            ..config
+        };
+        assert_eq!(
+            labels(Scenario::Social, &domained),
+            ["city", "post", "tag", "topic", "user"]
+        );
+        assert_eq!(
+            labels(Scenario::Citation, &domained),
+            ["area", "author", "paper", "venue"]
+        );
+        assert_eq!(
+            labels(Scenario::ProductCatalog, &domained),
+            [
+                "brand",
+                "category",
+                "collection",
+                "customer",
+                "product",
+                "review"
+            ]
+        );
+    }
+
+    #[test]
+    fn social_degrees_are_skewed_citations_are_flat() {
+        let config = ScenarioConfig::new(200, 3);
+        let social = generate(Scenario::Social, &config).build_graph();
+        let user = social.interner().get("user").unwrap();
+        let user_degrees: Vec<usize> = social
+            .nodes_with_label(user)
+            .iter()
+            .map(|&v| social.degree(v))
+            .collect();
+        let max = *user_degrees.iter().max().unwrap();
+        let avg = user_degrees.iter().sum::<usize>() as f64 / user_degrees.len() as f64;
+        assert!(
+            max as f64 > 4.0 * avg,
+            "expected hub users: max {max} vs avg {avg:.1}"
+        );
+
+        let citation = generate(Scenario::Citation, &config).build_graph();
+        let paper = citation.interner().get("paper").unwrap();
+        let max_out = citation
+            .nodes_with_label(paper)
+            .iter()
+            .map(|&v| citation.out_degree(v))
+            .max()
+            .unwrap();
+        // One venue edge plus at most five citations.
+        assert!(
+            max_out <= 6,
+            "citation out-degree should stay flat, got {max_out}"
+        );
+    }
+
+    #[test]
+    fn zipf_knob_sharpens_the_hub_skew() {
+        // A higher exponent must concentrate more follower mass on the top
+        // user than a lower one.
+        let top_share = |z: f64| -> f64 {
+            let config = ScenarioConfig {
+                zipf: Some(z),
+                ..ScenarioConfig::new(400, 11)
+            };
+            let g = generate(Scenario::Social, &config).build_graph();
+            let user = g.interner().get("user").unwrap();
+            let degrees: Vec<usize> = g
+                .nodes_with_label(user)
+                .iter()
+                .map(|&v| g.degree(v))
+                .collect();
+            *degrees.iter().max().unwrap() as f64 / degrees.iter().sum::<usize>() as f64
+        };
+        let flat = top_share(0.5);
+        let sharp = top_share(1.6);
+        assert!(
+            sharp > flat * 1.5,
+            "zipf 1.6 top share {sharp:.4} should dwarf zipf 0.5 share {flat:.4}"
+        );
+    }
+
+    #[test]
+    fn hot_fraction_concentrates_domain_references() {
+        let hot = ScenarioConfig {
+            hot_fraction: Some(0.9),
+            ..ScenarioConfig::new(500, 13)
+        };
+        let cold = ScenarioConfig::new(500, 13);
+        let hot_city_share = |c: &ScenarioConfig| -> f64 {
+            let g = generate(Scenario::Social, c).build_graph();
+            let city = g.interner().get("city").unwrap();
+            let mut degrees: Vec<usize> = g
+                .nodes_with_label(city)
+                .iter()
+                .map(|&v| g.degree(v))
+                .collect();
+            degrees.sort_unstable_by(|a, b| b.cmp(a));
+            let top = degrees.len().div_ceil(10).max(1);
+            degrees[..top].iter().sum::<usize>() as f64 / degrees.iter().sum::<usize>() as f64
+        };
+        let concentrated = hot_city_share(&hot);
+        let uniform = hot_city_share(&cold);
+        assert!(
+            concentrated > 0.7 && concentrated > uniform * 2.0,
+            "hot tenth share {concentrated:.3} vs uniform {uniform:.3}"
+        );
+    }
+
+    #[test]
+    fn domain_knob_fixes_cardinalities_and_value_domains() {
+        for scale in [300usize, 3000] {
+            let config = ScenarioConfig {
+                domain: Some(5),
+                ..ScenarioConfig::new(scale, 21)
+            };
+            let g = generate(Scenario::Social, &config).build_graph();
+            let count = |name: &str| g.label_count(g.interner().get(name).unwrap());
+            assert_eq!(count("city"), 5, "scale {scale}");
+            assert_eq!(count("tag"), 10, "scale {scale}");
+            assert_eq!(count("topic"), 5, "scale {scale}");
+            // Values come from a fixed domain of 20·d points.
+            let user = g.interner().get("user").unwrap();
+            let distinct: std::collections::BTreeSet<_> = g
+                .nodes_with_label(user)
+                .iter()
+                .map(|&v| match g.value(v) {
+                    Value::Int(i) => *i,
+                    other => panic!("unexpected value {other:?}"),
+                })
+                .collect();
+            assert!(distinct.len() <= 100, "scale {scale}: {}", distinct.len());
+        }
+    }
+
+    #[test]
+    fn curated_tier_bounds_hold() {
+        let config = ScenarioConfig {
+            domain: Some(6),
+            ..ScenarioConfig::new(600, 2)
+        };
+        let g = generate(Scenario::Social, &config).build_graph();
+        let topic = g.interner().get("topic").unwrap();
+        let user = g.interner().get("user").unwrap();
+        let post = g.interner().get("post").unwrap();
+        for &t in g.nodes_with_label(topic) {
+            let mut users = 0;
+            let mut posts = 0;
+            for n in g.neighbors(t) {
+                if g.label(n) == user {
+                    users += 1;
+                } else if g.label(n) == post {
+                    posts += 1;
+                }
+            }
+            assert!(users <= TOPIC_USER_REFS, "topic {t:?} has {users} users");
+            assert!(posts <= TOPIC_POST_REFS, "topic {t:?} has {posts} posts");
+        }
+    }
+
+    #[test]
+    fn streaming_render_matches_buffered_render() {
+        let knobbed = ScenarioConfig {
+            zipf: Some(1.1),
+            hot_fraction: Some(0.5),
+            domain: Some(4),
+            ..ScenarioConfig::new(60, 9)
+        };
+        for config in [ScenarioConfig::new(60, 9), knobbed] {
+            for scenario in Scenario::ALL {
+                let dataset = generate(scenario, &config);
+                let mut text = text_header(scenario, &config);
+                let mut jsonl = String::new();
+                let mut count = 0usize;
+                generate_with(scenario, &config, |record| {
+                    record.render_text(&mut text);
+                    record.render_jsonl(&mut jsonl);
+                    count += 1;
+                });
+                assert_eq!(count, dataset.records().len(), "{scenario} record count");
+                assert_eq!(text, dataset.to_text(), "{scenario} text drifted");
+                assert_eq!(jsonl, dataset.to_jsonl(), "{scenario} jsonl drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn names_resolve() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_name(s.name()), Some(s));
+            assert!(!s.description().is_empty());
+        }
+        assert_eq!(Scenario::from_name("nope"), None);
+    }
+}
